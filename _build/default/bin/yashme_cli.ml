@@ -1,0 +1,185 @@
+(* Command-line driver for the Yashme persistency-race detector.
+
+   yashme list                          enumerate benchmark programs
+   yashme check BENCH [--mode ...]      run the detector on one program
+   yashme check-all [--mode ...]        run it on the whole suite
+   yashme tables                        print the reorder/compiler tables *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "prefix" -> Ok Yashme.Detector.Prefix
+    | "baseline" -> Ok Yashme.Detector.Baseline
+    | s -> Error (`Msg (Printf.sprintf "unknown detector mode %S (prefix|baseline)" s))
+  in
+  let print ppf = function
+    | Yashme.Detector.Prefix -> Format.fprintf ppf "prefix"
+    | Yashme.Detector.Baseline -> Format.fprintf ppf "baseline"
+  in
+  Arg.conv (parse, print)
+
+let detector_mode =
+  let doc = "Detection mode: $(b,prefix) (prefix-based expansion, the paper's \
+             contribution) or $(b,baseline) (crash-in-window only)." in
+  Arg.(value & opt mode_conv Yashme.Detector.Prefix & info [ "detector" ] ~doc)
+
+let run_mode =
+  let doc = "$(b,mc) model-checks every crash point; $(b,random) runs randomized \
+             executions (see --execs); $(b,mc-recovery) model-checks two-crash \
+             scenarios to find races in the recovery procedure itself." in
+  Arg.(value
+       & opt (enum [ ("mc", `Mc); ("random", `Random); ("mc-recovery", `Mc_recovery) ]) `Mc
+       & info [ "mode" ] ~doc)
+
+let execs =
+  let doc = "Number of random executions in --mode random." in
+  Arg.(value & opt int 20 & info [ "execs" ] ~doc)
+
+let seed =
+  let doc = "Random seed (schedules, crash points, cache cuts)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let show_benign =
+  let doc = "Also list benign (checksum-validated) findings." in
+  Arg.(value & flag & info [ "benign" ] ~doc)
+
+let eadr_flag =
+  let doc = "Detect under eADR persistency semantics (section 7.5): the cache              is in the persistence domain, so only stores whose cache commit              is not forced into the consistent prefix can race." in
+  Arg.(value & flag & info [ "eadr" ] ~doc)
+
+let no_coherence =
+  let doc = "Ablation: disable the cache-coherence condition (2)." in
+  Arg.(value & flag & info [ "no-coherence" ] ~doc)
+
+let no_candidates =
+  let doc = "Ablation: only check the store each load actually read." in
+  Arg.(value & flag & info [ "no-candidates" ] ~doc)
+
+let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false) mode seed =
+  { Pm_harness.Runner.default_options with
+    mode; seed; eadr; coherence = not no_coherence;
+    check_candidates = not no_candidates }
+
+let report_program run_mode opts execs (p : Pm_harness.Program.t) =
+  match run_mode with
+  | `Mc -> Pm_harness.Runner.model_check ~options:opts p
+  | `Mc_recovery -> Pm_harness.Runner.model_check_recovery ~options:opts p
+  | `Random -> Pm_harness.Runner.random_mode ~options:opts ~execs p
+
+let print_report show_benign (r : Pm_harness.Report.t) =
+  if show_benign then print_endline (Pm_harness.Report.to_string r)
+  else begin
+    let real = Pm_harness.Report.real r in
+    Printf.printf "%s: %d distinct persistency race(s) in %d execution(s)\n"
+      r.Pm_harness.Report.program (List.length real) r.Pm_harness.Report.executions;
+    List.iter
+      (fun (f : Pm_harness.Report.finding) ->
+        Printf.printf "  [race] %s (%d report%s)\n" f.Pm_harness.Report.label
+          f.Pm_harness.Report.count
+          (if f.Pm_harness.Report.count = 1 then "" else "s"))
+      real
+  end
+
+let list_cmd =
+  let term =
+    Term.(
+      const (fun () ->
+          List.iter print_endline (Pm_benchmarks.Registry.names ()))
+      $ const ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark programs") term
+
+let check_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
+           ~doc:"Benchmark name (see $(b,yashme list)).")
+  in
+  let run bench run_mode dmode execs seed show_benign eadr no_coherence no_candidates =
+    match Pm_benchmarks.Registry.find bench with
+    | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
+        exit 1
+    | p ->
+        let r =
+          report_program run_mode (options ~eadr ~no_coherence ~no_candidates dmode seed)
+            execs p
+        in
+        print_report show_benign r
+  in
+  let term =
+    Term.(
+      const run $ bench $ run_mode $ detector_mode $ execs $ seed $ show_benign
+      $ eadr_flag $ no_coherence $ no_candidates)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
+
+let witness_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
+           ~doc:"Benchmark name (see $(b,yashme list)).")
+  in
+  let flush_point =
+    let doc = "Crash before the n-th flush/fence; -1 crashes at program end." in
+    Arg.(value & opt int (-1) & info [ "at" ] ~doc)
+  in
+  let run bench n seed =
+    match Pm_benchmarks.Registry.find bench with
+    | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
+        exit 1
+    | p ->
+        let plan =
+          if n < 0 then Pm_runtime.Executor.Crash_at_end
+          else Pm_runtime.Executor.Crash_before_flush n
+        in
+        let opts = { Pm_harness.Runner.default_options with seed } in
+        let detector, trace = Pm_harness.Runner.run_once_traced ~options:opts ~plan p in
+        (match Yashme.Detector.races detector with
+        | [] -> print_endline "no persistency race in this execution"
+        | race :: _ ->
+            print_endline (Pm_harness.Witness.explain ~trace ~detector ~race))
+  in
+  let term = Term.(const run $ bench $ flush_point $ seed) in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Run one crash scenario and print a race witness (pre-crash prefix E+)")
+    term
+
+let check_all_cmd =
+  let run run_mode dmode execs seed show_benign =
+    let total = ref 0 in
+    List.iter
+      (fun p ->
+        let r = report_program run_mode (options dmode seed) execs p in
+        total := !total + List.length (Pm_harness.Report.real r);
+        print_report show_benign r;
+        print_newline ())
+      Pm_benchmarks.Registry.all;
+    Printf.printf "total distinct persistency races: %d\n" !total
+  in
+  let term =
+    Term.(const run $ run_mode $ detector_mode $ execs $ seed $ show_benign)
+  in
+  Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
+
+let tables_cmd =
+  let run () =
+    print_endline "Table 1: Px86 reordering constraints";
+    print_endline (Px86.Reorder.table ());
+    print_newline ();
+    print_endline "Table 2a: compiler store optimizations";
+    print_endline (Pm_compiler.Passes.table_2a ());
+    print_newline ();
+    print_endline "Table 2b: source vs assembly memory operations (clang -O3, x86-64)";
+    print_endline (Pm_compiler.Programs.table_2b ())
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Print the static tables (1, 2a, 2b)")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
+  Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
+    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cceh_demo.ml: List Pm_benchmarks Pm_harness Pm_runtime Printf Yashme

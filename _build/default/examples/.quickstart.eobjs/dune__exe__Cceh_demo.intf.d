@@ -1,0 +1,1 @@
+examples/cceh_demo.mli:

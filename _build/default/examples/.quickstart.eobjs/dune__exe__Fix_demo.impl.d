@@ -1,0 +1,1 @@
+examples/fix_demo.ml: List Pm_harness Pm_runtime Pmem Printf Px86 String

@@ -1,0 +1,1 @@
+examples/fix_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Executor List Pm_runtime Pmem Printf Yashme

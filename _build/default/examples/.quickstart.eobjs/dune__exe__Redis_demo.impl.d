@@ -1,0 +1,1 @@
+examples/redis_demo.ml: Executor Pm_benchmarks Pm_harness Pm_runtime Printf

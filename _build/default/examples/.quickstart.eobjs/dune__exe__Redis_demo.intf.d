@@ -1,0 +1,1 @@
+examples/redis_demo.mli:

@@ -1,0 +1,1 @@
+examples/scenarios.ml: Executor List Pm_runtime Pmem Printf Px86 Yashme

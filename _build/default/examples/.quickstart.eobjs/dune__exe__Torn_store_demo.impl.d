@@ -1,0 +1,1 @@
+examples/torn_store_demo.ml: Executor Format List Pm_compiler Pm_runtime Pmem Printf String

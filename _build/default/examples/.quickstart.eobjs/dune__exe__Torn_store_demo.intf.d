@@ -1,0 +1,1 @@
+examples/torn_store_demo.mli:

@@ -1,0 +1,1 @@
+examples/wal_queue.ml: Executor Int64 List Pm_benchmarks Pm_harness Pm_runtime Pmem Px86 String

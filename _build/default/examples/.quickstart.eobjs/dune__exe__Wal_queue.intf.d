@@ -1,0 +1,1 @@
+examples/wal_queue.mli:

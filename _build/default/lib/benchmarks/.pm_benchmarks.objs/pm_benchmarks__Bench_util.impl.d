@@ -1,0 +1,1 @@
+lib/benchmarks/bench_util.ml: Char Int64 Pm_runtime String

@@ -1,0 +1,1 @@
+lib/benchmarks/bench_util.mli: Px86

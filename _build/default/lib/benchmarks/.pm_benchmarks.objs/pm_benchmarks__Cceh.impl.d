@@ -1,0 +1,1 @@
+lib/benchmarks/cceh.ml: Bench_util Hashtbl Int64 List Pm_harness Pm_runtime Pmem Px86

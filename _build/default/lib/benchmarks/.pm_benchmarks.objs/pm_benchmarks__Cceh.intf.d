@@ -1,0 +1,1 @@
+lib/benchmarks/cceh.mli: Pm_harness

@@ -1,0 +1,1 @@
+lib/benchmarks/fast_fair.ml: Int64 List Pm_harness Pm_runtime Pmem Px86

@@ -1,0 +1,1 @@
+lib/benchmarks/fast_fair.mli: Pm_harness

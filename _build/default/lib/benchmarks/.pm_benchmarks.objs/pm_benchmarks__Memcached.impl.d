@@ -1,0 +1,1 @@
+lib/benchmarks/memcached.ml: Bench_util Hashtbl Int64 List Option Pm_harness Pm_runtime Pmem Px86 String

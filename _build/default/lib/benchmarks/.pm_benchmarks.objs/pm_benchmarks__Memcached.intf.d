@@ -1,0 +1,1 @@
+lib/benchmarks/memcached.mli: Pm_harness

@@ -1,0 +1,1 @@
+lib/benchmarks/p_art.mli: Pm_harness

@@ -1,0 +1,1 @@
+lib/benchmarks/p_bwtree.ml: Bench_util Int64 List Pm_harness Pm_runtime Pmem Px86

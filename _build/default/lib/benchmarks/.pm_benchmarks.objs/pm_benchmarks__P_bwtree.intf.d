@@ -1,0 +1,1 @@
+lib/benchmarks/p_bwtree.mli: Pm_harness Px86

@@ -1,0 +1,1 @@
+lib/benchmarks/p_clht.mli: Pm_harness

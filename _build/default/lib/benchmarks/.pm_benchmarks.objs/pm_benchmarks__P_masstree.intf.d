@@ -1,0 +1,1 @@
+lib/benchmarks/p_masstree.mli: Pm_harness

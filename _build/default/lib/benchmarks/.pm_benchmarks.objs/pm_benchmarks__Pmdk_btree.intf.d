@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_btree.mli: Pm_harness

@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_ctree.mli: Pm_harness

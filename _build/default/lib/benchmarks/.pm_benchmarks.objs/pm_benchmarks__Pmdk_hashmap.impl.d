@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_hashmap.ml: Bench_util Int64 List Pm_harness Pm_runtime Pmdk_pool Pmdk_ulog Pmem

@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_hashmap.mli: Pm_harness

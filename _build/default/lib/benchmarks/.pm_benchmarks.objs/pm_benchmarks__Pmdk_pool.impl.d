@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_pool.ml: Int64 List Pm_runtime Pmdk_ulog Pmdk_undolog Pmem Px86

@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_pool.mli: Pmdk_ulog Px86

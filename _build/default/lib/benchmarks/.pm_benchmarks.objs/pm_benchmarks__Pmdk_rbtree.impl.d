@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_rbtree.ml: Int64 List Pm_harness Pm_runtime Pmdk_pool Pmem

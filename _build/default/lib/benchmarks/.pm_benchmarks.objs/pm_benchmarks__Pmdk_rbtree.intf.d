@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_rbtree.mli: Pm_harness

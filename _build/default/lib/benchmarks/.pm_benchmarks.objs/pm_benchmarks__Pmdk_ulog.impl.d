@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_ulog.ml: Bench_util Int64 List Pm_runtime Pmem Px86

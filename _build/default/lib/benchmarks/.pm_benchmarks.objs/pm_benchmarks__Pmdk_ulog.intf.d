@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_ulog.mli: Px86

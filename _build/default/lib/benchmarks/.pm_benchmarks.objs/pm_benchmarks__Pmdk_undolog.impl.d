@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_undolog.ml: Bench_util Int64 List Pm_runtime Pmdk_ulog Pmem Px86

@@ -1,0 +1,1 @@
+lib/benchmarks/pmdk_undolog.mli: Px86

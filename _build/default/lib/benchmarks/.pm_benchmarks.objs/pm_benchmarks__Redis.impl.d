@@ -1,0 +1,1 @@
+lib/benchmarks/redis.ml: Bench_util Hashtbl Int64 List Pm_harness Pm_runtime Pmdk_pool Pmem Px86 String

@@ -1,0 +1,1 @@
+lib/benchmarks/redis.mli: Pm_harness

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Cceh Fast_fair List Memcached P_art P_bwtree P_clht P_masstree Pm_harness Pmdk_btree Pmdk_ctree Pmdk_hashmap Pmdk_rbtree Redis String

@@ -1,0 +1,21 @@
+let hash64 x =
+  let open Int64 in
+  let z = mul (of_int x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = logxor z (shift_right_logical z 27) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)
+
+let checksum_range addr len =
+  let rec go off acc =
+    if off >= len then acc
+    else
+      let chunk = min 8 (len - off) in
+      let v = Pm_runtime.Pmem.load ~size:chunk (addr + off) in
+      go (off + chunk) (Int64.add (Int64.mul acc 31L) v)
+  in
+  go 0 0x5DEECE66DL
+
+let checksum_string s =
+  let acc = ref 0x5DEECE66DL in
+  String.iter (fun c -> acc := Int64.add (Int64.mul !acc 31L) (Int64.of_int (Char.code c))) s;
+  !acc

@@ -1,0 +1,12 @@
+(** Shared helpers for the benchmark implementations. *)
+
+(** Deterministic 64-bit hash used by the index benchmarks. *)
+val hash64 : int -> int
+
+(** Checksum over a PM byte range, used by the PMDK-style
+    checksum-validation strategy (paper, section 7.5).  Reads the range
+    through {!Pm_runtime.Pmem.load}. *)
+val checksum_range : Px86.Addr.t -> int -> int64
+
+(** Fletcher-style checksum of a string (for volatile-side checks). *)
+val checksum_string : string -> int64

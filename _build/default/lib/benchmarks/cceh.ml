@@ -1,0 +1,203 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* Layout:
+   descriptor: dir_ptr@0 (atomic), global_depth@8
+   directory:  2^global_depth segment pointers (atomic stores)
+   segment:    local_depth@0, pairs at 64: slots_per_segment x
+               { key@0, value@8 }
+
+   The descriptor and directory are metadata published with atomic
+   release stores and persisted before becoming reachable; pairs follow
+   the racy protocol of Figure 3. *)
+
+let slots_per_segment = 8
+let initial_depth = 2
+let pair_size = 16
+let segment_bytes = 64 + (slots_per_segment * pair_size)
+let max_depth = 8
+
+let invalid_key = 0L
+let sentinel = -1L (* slot locked, insertion in flight *)
+
+let label_key = "key in Pair struct in pair.h"
+let label_value = "value in Pair struct in pair.h"
+
+let release = Px86.Access.Release
+let acquire = Px86.Access.Acquire
+
+let slot_addr seg slot = seg + 64 + (slot * pair_size)
+
+let new_segment ~local_depth =
+  let seg = Pmem.alloc ~align:64 segment_bytes in
+  Pmem.store seg (Int64.of_int local_depth);
+  Pmem.persist seg segment_bytes;
+  seg
+
+let new_directory ~depth ~init =
+  let entries = 1 lsl depth in
+  let dir = Pmem.alloc ~align:64 (8 * entries) in
+  List.iteri
+    (fun i seg -> Pmem.store ~atomic:release (dir + (8 * i)) (Int64.of_int seg))
+    (init entries);
+  Pmem.persist dir (8 * entries);
+  dir
+
+let create () =
+  let t = Pmem.alloc ~align:64 16 in
+  let entries = 1 lsl initial_depth in
+  let segs = List.init entries (fun _ -> new_segment ~local_depth:initial_depth) in
+  let dir = new_directory ~depth:initial_depth ~init:(fun _ -> segs) in
+  Pmem.store ~atomic:release t (Int64.of_int dir);
+  Pmem.store (t + 8) (Int64.of_int initial_depth);
+  Pmem.persist t 16;
+  Pmem.set_root 0 t;
+  t
+
+let open_existing () = Pmem.get_root 0
+
+let dir_ptr t = Int64.to_int (Pmem.load ~atomic:acquire t)
+let global_depth t = Pmem.load_int (t + 8)
+let dir_entry t i = Int64.to_int (Pmem.load ~atomic:acquire (dir_ptr t + (8 * i)))
+let local_depth seg = Pmem.load_int seg
+
+let dir_index t key =
+  let h = Bench_util.hash64 key in
+  h land ((1 lsl global_depth t) - 1)
+
+let seg_of_key t key = dir_entry t (dir_index t key)
+
+(* Figure 3 of the paper: CAS locks the slot, value is written, an
+   mfence orders it, then the key commits the insertion.  Both the value
+   and key stores are plain, hence the persistency races. *)
+let try_insert_into seg ~key ~value =
+  let rec probe slot =
+    if slot >= slots_per_segment then false
+    else
+      let a = slot_addr seg slot in
+      if Pmem.cas a ~expected:invalid_key ~desired:sentinel then begin
+        Pmem.store ~label:label_value (a + 8) (Int64.of_int value);
+        Pmem.mfence ();
+        Pmem.store ~label:label_key a (Int64.of_int key);
+        (* The caller persists both stores (CCEH flushes after commit). *)
+        Pmem.persist a pair_size;
+        true
+      end
+      else probe (slot + 1)
+  in
+  probe 0
+
+let segment_pairs seg =
+  List.filter_map
+    (fun slot ->
+      let a = slot_addr seg slot in
+      let k = Pmem.load a in
+      if k = invalid_key || k = sentinel then None
+      else Some (Int64.to_int k, Int64.to_int (Pmem.load (a + 8))))
+    (List.init slots_per_segment (fun i -> i))
+
+(* Split [seg]: allocate two children with local depth + 1, migrate the
+   pairs by the discriminating hash bit, persist the children fully,
+   then repoint every directory entry that referenced [seg] (atomic
+   stores, persisted) — the original's lazy split. *)
+let split_segment t seg =
+  let ld = local_depth seg in
+  let gd = global_depth t in
+  (* Double the directory first if the segment is at max depth. *)
+  if ld = gd then begin
+    if gd >= max_depth then failwith "CCEH: directory at maximum depth";
+    let old_dir = dir_ptr t in
+    let old_entries = 1 lsl gd in
+    let dir =
+      new_directory ~depth:(gd + 1)
+        ~init:(fun entries ->
+          List.init entries (fun i ->
+              Int64.to_int (Pmem.load ~atomic:acquire (old_dir + (8 * (i land (old_entries - 1)))))))
+    in
+    Pmem.store ~atomic:release t (Int64.of_int dir);
+    Pmem.store (t + 8) (Int64.of_int (gd + 1));
+    Pmem.persist t 16
+  end;
+  let gd = global_depth t in
+  let left = new_segment ~local_depth:(ld + 1) in
+  let right = new_segment ~local_depth:(ld + 1) in
+  List.iter
+    (fun (k, v) ->
+      let h = Bench_util.hash64 k in
+      let child = if h land (1 lsl ld) = 0 then left else right in
+      ignore (try_insert_into child ~key:k ~value:v))
+    (segment_pairs seg);
+  Pmem.persist left segment_bytes;
+  Pmem.persist right segment_bytes;
+  (* Repoint the directory entries that map to this segment. *)
+  let dir = dir_ptr t in
+  for i = 0 to (1 lsl gd) - 1 do
+    if dir_entry t i = seg then begin
+      let child = if i land (1 lsl ld) = 0 then left else right in
+      Pmem.store ~atomic:release (dir + (8 * i)) (Int64.of_int child)
+    end
+  done;
+  Pmem.persist dir (8 * (1 lsl gd))
+
+let rec insert t ~key ~value =
+  assert (key <> 0);
+  let seg = seg_of_key t key in
+  if try_insert_into seg ~key ~value then ()
+  else begin
+    split_segment t seg;
+    insert t ~key ~value
+  end
+
+let get t ~key =
+  let seg = seg_of_key t key in
+  let rec probe slot =
+    if slot >= slots_per_segment then None
+    else
+      let a = slot_addr seg slot in
+      if Pmem.load a = Int64.of_int key then Some (Int64.to_int (Pmem.load (a + 8)))
+      else probe (slot + 1)
+  in
+  probe 0
+
+let remove t ~key =
+  let seg = seg_of_key t key in
+  let rec probe slot =
+    if slot < slots_per_segment then begin
+      let a = slot_addr seg slot in
+      if Pmem.load a = Int64.of_int key then begin
+        Pmem.store ~label:label_key a invalid_key;
+        Pmem.persist a 8
+      end
+      else probe (slot + 1)
+    end
+  in
+  probe 0
+
+let scan t =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  for i = 0 to (1 lsl global_depth t) - 1 do
+    let seg = dir_entry t i in
+    if not (Hashtbl.mem seen seg) then begin
+      Hashtbl.add seen seg ();
+      acc := segment_pairs seg @ !acc
+    end
+  done;
+  List.sort compare !acc
+
+let workload_keys = [ 3; 7; 11; 19; 23; 42; 57; 63; 78; 91; 104; 119; 131; 150 ]
+
+let program =
+  Pm_harness.Program.make ~name:"CCEH"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> insert t ~key:k ~value:(k * 100)) workload_keys;
+      remove t ~key:7;
+      remove t ~key:63)
+    ~post:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> ignore (get t ~key:k)) workload_keys;
+      ignore (scan t))
+    ()

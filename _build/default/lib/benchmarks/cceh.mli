@@ -1,0 +1,48 @@
+(** Cacheline-Conscious Extendible Hashing (CCEH, FAST '19), ported to
+    the simulated PM API with the commit protocol of the original:
+    [Segment::Insert] locks a slot by CAS on the key field, writes the
+    value, fences, then writes the key — both writes are {e non-atomic},
+    which is the paper's motivating persistency race (Figure 3, bugs #1
+    and #2 of Table 3).
+
+    The port implements the full extendible-hashing machinery: per-
+    segment local depths, lazy segment splits with pair migration, and
+    directory doubling.  Directory pointers are published with atomic
+    release stores and persisted before use (as the original's
+    [Directory::Update] does with CAS), so the only racy fields are the
+    pair's [key] and [value]. *)
+
+type t
+
+val slots_per_segment : int
+val initial_depth : int
+
+(** Allocate a fresh table (directory plus segments) and register it in
+    root slot 0. *)
+val create : unit -> t
+
+(** Reopen a table from root slot 0 (recovery path). *)
+val open_existing : unit -> t
+
+(** [insert t ~key ~value] inserts, splitting the target segment (and
+    doubling the directory if needed) when it is full. *)
+val insert : t -> key:int -> value:int -> unit
+
+(** Lookup via the original's [CCEH::Get]: non-atomic reads of the key
+    and value fields. *)
+val get : t -> key:int -> int option
+
+(** [remove t ~key] deletes by storing INVALID over the key (a plain
+    store, like the original). *)
+val remove : t -> key:int -> unit
+
+(** Sweep every slot of every segment, reading keys and values
+    (recovery scan).  Segments shared by several directory entries are
+    visited once. *)
+val scan : t -> (int * int) list
+
+(** Current directory depth (grows with doubling). *)
+val global_depth : t -> int
+
+(** The crash-test program for the harness: populate, crash, recover. *)
+val program : Pm_harness.Program.t

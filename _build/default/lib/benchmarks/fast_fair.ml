@@ -1,0 +1,266 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* Layout (node, 3 cache lines):
+     header: leftmost_ptr@0  sibling_ptr@8  last_index@16  switch_counter@24
+             is_leaf@32      level@40
+     entries@64: cardinality x { key@0; ptr@8 }
+   btree descriptor: root@0, height@8. *)
+
+let cardinality = 8
+let header_bytes = 64
+let entry_size = 16
+let node_bytes = header_bytes + (cardinality * entry_size)
+
+let label_last_index = "last_index in header class in btree.h"
+let label_switch_counter = "switch_counter in header class in btree.h"
+let label_key = "key in entry class in btree.h"
+let label_ptr = "ptr in entry class in btree.h"
+let label_root = "root in btree class in btree.h"
+let label_sibling = "sibling_ptr in header class in btree.h"
+
+let o_leftmost = 0
+let o_sibling = 8
+let o_last_index = 16
+let o_switch = 24
+let o_is_leaf = 32
+let o_level = 40
+let entry_addr node i = node + header_bytes + (i * entry_size)
+
+let load_i node off = Int64.to_int (Pmem.load (node + off))
+let leftmost node = load_i node o_leftmost
+let sibling node = load_i node o_sibling
+let last_index node = load_i node o_last_index
+let is_leaf node = load_i node o_is_leaf = 1
+let entry_key node i = Int64.to_int (Pmem.load (entry_addr node i))
+let entry_ptr node i = Int64.to_int (Pmem.load (entry_addr node i + 8))
+
+let set_last_index node v = Pmem.store ~label:label_last_index (node + o_last_index) (Int64.of_int v)
+let set_switch node v = Pmem.store ~label:label_switch_counter (node + o_switch) (Int64.of_int v)
+let set_entry_key node i k = Pmem.store ~label:label_key (entry_addr node i) (Int64.of_int k)
+let set_entry_ptr node i p = Pmem.store ~label:label_ptr (entry_addr node i + 8) (Int64.of_int p)
+let set_sibling node s = Pmem.store ~label:label_sibling (node + o_sibling) (Int64.of_int s)
+
+let new_node ~leaf ~level =
+  let n = Pmem.alloc ~align:64 node_bytes in
+  Pmem.store (n + o_leftmost) 0L;
+  Pmem.store (n + o_sibling) 0L;
+  Pmem.store (n + o_last_index) (-1L);
+  Pmem.store (n + o_switch) 0L;
+  Pmem.store (n + o_is_leaf) (if leaf then 1L else 0L);
+  Pmem.store (n + o_level) (Int64.of_int level);
+  Pmem.persist n node_bytes;
+  n
+
+let create () =
+  let t = Pmem.alloc ~align:64 16 in
+  let root = new_node ~leaf:true ~level:0 in
+  Pmem.store t (Int64.of_int root);
+  Pmem.store (t + 8) 1L;
+  Pmem.persist t 16;
+  Pmem.set_root 1 t;
+  t
+
+let open_existing () = Pmem.get_root 1
+
+let root_of t = Int64.to_int (Pmem.load t)
+let height t = load_i t 8
+
+(* Internal-node child for [key]: last entry with entry_key <= key, or
+   the leftmost pointer. *)
+let child_for node key =
+  let n = last_index node in
+  let rec scan i best =
+    if i > n then best
+    else if entry_key node i <= key then scan (i + 1) (entry_ptr node i)
+    else best
+  in
+  scan 0 (leftmost node)
+
+let rec find_leaf_with_path node key path =
+  if is_leaf node then (node, path)
+  else find_leaf_with_path (child_for node key) key (node :: path)
+
+(* FAST insertion into a non-full node: bump the switch counter (odd =
+   update in progress), shift entries right with plain stores, write the
+   new entry, bump last_index, make the counter even again, persist. *)
+let insert_into_node node key ptr =
+  let sc = load_i node o_switch in
+  set_switch node (sc + 1);
+  let n = last_index node in
+  let rec find_pos i = if i <= n && entry_key node i < key then find_pos (i + 1) else i in
+  let pos = find_pos 0 in
+  for i = n downto pos do
+    set_entry_key node (i + 1) (entry_key node i);
+    set_entry_ptr node (i + 1) (entry_ptr node i)
+  done;
+  set_entry_key node pos key;
+  set_entry_ptr node pos ptr;
+  set_last_index node (n + 1);
+  set_switch node (sc + 2);
+  Pmem.persist node node_bytes
+
+let node_level node = load_i node o_level
+
+let rec insert_entry t node key ptr path =
+  if last_index node < cardinality - 1 then insert_into_node node key ptr
+  else begin
+    (* Split: keep the lower half, move the upper half to a new sibling. *)
+    let m = cardinality / 2 in
+    let leaf = is_leaf node in
+    let sib = new_node ~leaf ~level:(node_level node) in
+    let sep = entry_key node m in
+    if leaf then begin
+      for i = m to cardinality - 1 do
+        set_entry_key sib (i - m) (entry_key node i);
+        set_entry_ptr sib (i - m) (entry_ptr node i)
+      done;
+      set_last_index sib (cardinality - 1 - m)
+    end
+    else begin
+      (* Internal split: the separator moves up; sib's leftmost gets its ptr. *)
+      Pmem.store (sib + o_leftmost) (Int64.of_int (entry_ptr node m));
+      for i = m + 1 to cardinality - 1 do
+        set_entry_key sib (i - m - 1) (entry_key node i);
+        set_entry_ptr sib (i - m - 1) (entry_ptr node i)
+      done;
+      set_last_index sib (cardinality - 2 - m)
+    end;
+    Pmem.store (sib + o_sibling) (Int64.of_int (sibling node));
+    Pmem.persist sib node_bytes;
+    set_sibling node sib;
+    set_last_index node (m - 1);
+    Pmem.persist node header_bytes;
+    (* Insert the pending entry into the proper half. *)
+    if key < sep then insert_into_node node key ptr
+    else if leaf then insert_into_node sib key ptr
+    else if key > sep then insert_into_node sib key ptr
+    else ();
+    (* Push the separator up. *)
+    match path with
+    | parent :: rest -> insert_entry t parent sep sib rest
+    | [] ->
+        let new_root = new_node ~leaf:false ~level:(node_level node + 1) in
+        Pmem.store (new_root + o_leftmost) (Int64.of_int node);
+        set_entry_key new_root 0 sep;
+        set_entry_ptr new_root 0 sib;
+        set_last_index new_root 0;
+        Pmem.persist new_root node_bytes;
+        Pmem.store ~label:label_root t (Int64.of_int new_root);
+        Pmem.store (t + 8) (Int64.of_int (height t + 1));
+        Pmem.persist t 16
+  end
+
+let insert t ~key ~value =
+  let leaf, path = find_leaf_with_path (root_of t) key [] in
+  insert_entry t leaf key value path
+
+(* Lock-free read protocol: retry while the switch counter is odd or
+   changed during the scan. *)
+let read_in_node node key =
+  let rec attempt tries =
+    if tries = 0 then None
+    else begin
+      let sc0 = load_i node o_switch in
+      let n = last_index node in
+      let rec scan i =
+        if i > n then None
+        else if entry_key node i = key then Some (entry_ptr node i)
+        else scan (i + 1)
+      in
+      let v = scan 0 in
+      let sc1 = load_i node o_switch in
+      if sc0 = sc1 && sc0 land 1 = 0 then v else attempt (tries - 1)
+    end
+  in
+  attempt 4
+
+let rec find_leaf node key = if is_leaf node then node else find_leaf (child_for node key) key
+
+let get t ~key =
+  let leaf = find_leaf (root_of t) key in
+  match read_in_node leaf key with
+  | Some v -> Some v
+  | None -> (
+      (* The entry may have shifted into the sibling during a split. *)
+      match sibling leaf with
+      | 0 -> None
+      | sib -> read_in_node sib key)
+
+let scan t =
+  let rec descend node = if is_leaf node then node else descend (leftmost node) in
+  let rec walk node acc =
+    if node = 0 then List.rev acc
+    else begin
+      let n = last_index node in
+      let rec collect i acc =
+        if i > n then acc else collect (i + 1) ((entry_key node i, entry_ptr node i) :: acc)
+      in
+      walk (sibling node) (collect 0 acc)
+    end
+  in
+  walk (descend (root_of t)) []
+
+(* FAIR deletion: shift-left under the switch-counter protocol; the
+   same racy header/entry stores as insertion. *)
+let remove_from_node node key =
+  let n = last_index node in
+  let rec find i = if i > n then None else if entry_key node i = key then Some i else find (i + 1) in
+  match find 0 with
+  | None -> false
+  | Some pos ->
+      let sc = load_i node o_switch in
+      set_switch node (sc + 1);
+      for i = pos to n - 1 do
+        set_entry_key node i (entry_key node (i + 1));
+        set_entry_ptr node i (entry_ptr node (i + 1))
+      done;
+      set_last_index node (n - 1);
+      set_switch node (sc + 2);
+      Pmem.persist node node_bytes;
+      true
+
+let remove t ~key =
+  let leaf = find_leaf (root_of t) key in
+  if not (remove_from_node leaf key) then
+    (* The key may have moved into the sibling during a split. *)
+    match sibling leaf with 0 -> () | sib -> ignore (remove_from_node sib key)
+
+(* Range scan through the leaf chain, FAST_FAIR's btree_search_range. *)
+let range t ~lo ~hi =
+  let rec descend node = if is_leaf node then node else descend (child_for node lo) in
+  let rec walk node acc =
+    if node = 0 then List.rev acc
+    else begin
+      let n = last_index node in
+      let rec collect i acc stop =
+        if i > n then (acc, stop)
+        else
+          let k = entry_key node i in
+          if k > hi then (acc, true)
+          else if k >= lo then collect (i + 1) ((k, entry_ptr node i) :: acc) stop
+          else collect (i + 1) acc stop
+      in
+      let acc, stop = collect 0 acc false in
+      if stop then List.rev acc else walk (sibling node) acc
+    end
+  in
+  walk (descend (root_of t)) []
+
+let workload_keys = [ 5; 1; 9; 3; 7; 11; 2; 8; 13; 4; 6; 12 ]
+
+let program =
+  Pm_harness.Program.make ~name:"Fast_Fair"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> insert t ~key:k ~value:(k * 10)) workload_keys;
+      remove t ~key:9;
+      remove t ~key:2)
+    ~post:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> ignore (get t ~key:k)) workload_keys;
+      ignore (scan t);
+      ignore (range t ~lo:3 ~hi:11))
+    ()

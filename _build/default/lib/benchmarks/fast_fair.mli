@@ -1,0 +1,29 @@
+(** FAST_FAIR (FAST '18): a fault-tolerant B+-tree for persistent memory
+    with failure-atomic shift (FAST) insertions and lock-free reads
+    guarded by a [switch_counter].
+
+    The port reproduces the six persistency races of Table 3 (#3–#8):
+    the plain stores to [last_index], [switch_counter], entry [key] and
+    [ptr], the btree [root] pointer, and the header [sibling_ptr]. *)
+
+type t
+
+val cardinality : int  (** entries per node *)
+
+val create : unit -> t
+val open_existing : unit -> t
+val insert : t -> key:int -> value:int -> unit
+val get : t -> key:int -> int option
+
+(** FAIR deletion: shift-left under the switch-counter protocol. *)
+val remove : t -> key:int -> unit
+
+(** In-order key/value pairs via leftmost descent and the sibling
+    chain — the recovery-time scan. *)
+val scan : t -> (int * int) list
+
+(** [range t ~lo ~hi] scans the leaf chain for keys in [[lo, hi]]. *)
+val range : t -> lo:int -> hi:int -> (int * int) list
+
+val height : t -> int
+val program : Pm_harness.Program.t

@@ -1,0 +1,237 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* pslab_pool_t header (one cache line):
+     magic@0, version@8 (one-time format markers, written atomically),
+     valid@16 (1 byte, PLAIN — race #2), count@24,
+     slabs@32.. (slab_count x 8, atomic publication stores).
+   pslab_t: header line { id@0 (1 byte, PLAIN — race #3), used@8 },
+     items at 64.
+   item (one cache line): it_flags@0 (1 byte, PLAIN — race #4),
+     cas@8 (PLAIN — race #5), key@16, nbytes@24, checksum@32, data@40;
+     key/nbytes/data/checksum are validated by checksum on read, so
+     races on them are benign. *)
+
+let slab_count = 2
+let items_per_slab = 4
+let item_bytes = 64
+let slab_bytes = 64 + (items_per_slab * item_bytes)
+let data_cap = 24
+
+let magic = 0x70736C6162L (* "pslab" *)
+
+let label_valid = "valid variable in pslab_pool_t struct in pslab.c"
+let label_id = "id variable in pslab_t struct in pslab.c"
+let label_it_flags = "it_flags variable in item_chunk struct in memcached.h"
+let label_cas = "cas variable in item struct in memcached.h"
+let label_data = "data bytes in item struct in memcached.c"
+let label_checksum = "checksum in item struct in memcached.c"
+
+let it_linked = 1L
+
+let slab_addr t i = Int64.to_int (Pmem.load ~atomic:Px86.Access.Acquire (t + 32 + (8 * i)))
+let item_addr slab j = slab + 64 + (j * item_bytes)
+
+(* Slab classes: slab 0 serves small payloads, slab 1 large ones, as
+   memcached's size-class allocator does. *)
+let small_cap = 8
+let class_of_size n = if n <= small_cap then 0 else 1
+
+(* Volatile LRU clock (memcached keeps LRU state in DRAM). *)
+let lru_tick = ref 0
+let lru : (Px86.Addr.t, int) Hashtbl.t = Hashtbl.create 16
+
+let touch it =
+  incr lru_tick;
+  Hashtbl.replace lru it !lru_tick
+
+(* Server startup formats the pool.  [valid] and the slab [id] bytes are
+   plain stores whose flushes trail far behind — the wide windows behind
+   races #2 and #3. *)
+let startup () =
+  (* Volatile state resets with the process. *)
+  Hashtbl.reset lru;
+  lru_tick := 0;
+  let t = Pmem.alloc ~align:64 (32 + (8 * slab_count)) in
+  (* The pool mapping is published before formatting (the real server
+     knows the pool by file, not by a pointer written after format). *)
+  Pmem.set_root 7 t;
+  Pmem.store ~atomic:Px86.Access.Seq_cst t magic;
+  Pmem.store ~atomic:Px86.Access.Seq_cst (t + 8) 1L;
+  for i = 0 to slab_count - 1 do
+    let slab = Pmem.alloc ~align:64 slab_bytes in
+    Pmem.store ~label:label_id ~size:1 slab (Int64.of_int (i + 1));
+    Pmem.store (slab + 8) 0L;
+    Pmem.store ~atomic:Px86.Access.Release (t + 32 + (8 * i)) (Int64.of_int slab)
+  done;
+  Pmem.store ~label:label_valid ~size:1 (t + 16) 1L;
+  Pmem.store (t + 24) (Int64.of_int slab_count);
+  Pmem.persist t (32 + (8 * slab_count));
+  t
+
+let open_existing () = Pmem.get_root 7
+
+(* Find the item currently holding [key], scanning every slab class. *)
+let find_item t key =
+  let rec scan_slab slab j =
+    if j >= items_per_slab then None
+    else
+      let it = item_addr slab j in
+      if Pmem.load ~size:1 it = it_linked && Pmem.load_int (it + 16) = key then Some it
+      else scan_slab slab (j + 1)
+  in
+  let rec scan_class i =
+    if i >= slab_count then None
+    else
+      match scan_slab (slab_addr t i) 0 with
+      | Some it -> Some it
+      | None -> scan_class (i + 1)
+  in
+  scan_class 0
+
+(* A slot for a new item in [cls]: reuse the key's slot, else a free
+   one, else evict the least-recently-used item of the class. *)
+let allocate_slot t ~cls ~key =
+  let slab = slab_addr t cls in
+  let slots = List.init items_per_slab (fun j -> item_addr slab j) in
+  let existing =
+    List.find_opt
+      (fun it -> Pmem.load ~size:1 it = it_linked && Pmem.load_int (it + 16) = key)
+      slots
+  in
+  match existing with
+  | Some it -> it
+  | None -> (
+      match List.find_opt (fun it -> Pmem.load ~size:1 it <> it_linked) slots with
+      | Some it -> it
+      | None ->
+          (* LRU eviction within the class. *)
+          let victim =
+            List.fold_left
+              (fun best it ->
+                let tick = Option.value ~default:0 (Hashtbl.find_opt lru it) in
+                match best with
+                | Some (_, bt) when bt <= tick -> best
+                | _ -> Some (it, tick))
+              None slots
+          in
+          (match victim with Some (it, _) -> it | None -> List.hd slots))
+
+let global_cas = ref 0
+
+let set t ~key ~value =
+  assert (String.length value <= data_cap);
+  let it = allocate_slot t ~cls:(class_of_size (String.length value)) ~key in
+  touch it;
+  incr global_cas;
+  Pmem.store ~label:label_it_flags ~size:1 it it_linked;
+  Pmem.store ~label:label_cas (it + 8) (Int64.of_int !global_cas);
+  Pmem.store ~label:label_data (it + 16) (Int64.of_int key);
+  Pmem.store ~label:label_data (it + 24) (Int64.of_int (String.length value));
+  (* The payload goes through libpmem's movnt path (pmem_memcpy). *)
+  Pmem.memcpy_nt_persist ~label:label_data (it + 40) value;
+  Pmem.store ~label:label_checksum (it + 32) (Bench_util.checksum_string value);
+  Pmem.persist it item_bytes
+
+let read_item it key =
+  if Pmem.load ~size:1 it <> it_linked then None
+  else begin
+    ignore (Pmem.load (it + 8)) (* cas *);
+    Pmem.validating (fun () ->
+        let k = Pmem.load_int (it + 16) in
+        let n = Pmem.load_int (it + 24) in
+        if k <> key || n < 0 || n > data_cap then None
+        else
+          let data = Pmem.load_bytes (it + 40) n in
+          if Pmem.load (it + 32) = Bench_util.checksum_string data then Some data
+          else None)
+  end
+
+let get t ~key =
+  match find_item t key with
+  | None -> None
+  | Some it ->
+      touch it;
+      read_item it key
+
+(* APPEND: concatenate onto an existing value (memcached's append). *)
+let append t ~key ~suffix =
+  match get t ~key with
+  | None -> false
+  | Some v when String.length v + String.length suffix > data_cap -> false
+  | Some v ->
+      set t ~key ~value:(v ^ suffix);
+      true
+
+(* INCR: numeric increment of a decimal value. *)
+let incr_counter t ~key =
+  let current =
+    match get t ~key with
+    | Some v -> (try int_of_string v with Failure _ -> 0)
+    | None -> 0
+  in
+  let next = current + 1 in
+  set t ~key ~value:(string_of_int next);
+  next
+
+(* DELETE: unlink by clearing it_flags — the same racy plain byte store
+   the item-set path uses. *)
+let delete t ~key =
+  match find_item t key with
+  | None -> ()
+  | Some it ->
+      Pmem.store ~label:label_it_flags ~size:1 it 0L;
+      Pmem.persist it 8;
+      Hashtbl.remove lru it
+
+(* The `stats' command: sweep the slabs counting linked items. *)
+let stats t =
+  let linked = ref 0 in
+  for i = 0 to slab_count - 1 do
+    let slab = slab_addr t i in
+    for j = 0 to items_per_slab - 1 do
+      if Pmem.load ~size:1 (item_addr slab j) = it_linked then incr linked
+    done
+  done;
+  !linked
+
+let restart_check t =
+  if Pmem.load ~atomic:Px86.Access.Seq_cst t <> magic then 0
+  else if Pmem.load ~size:1 (t + 16) <> 1L then 0
+  else begin
+    let found = ref 0 in
+    for i = 0 to slab_count - 1 do
+      let slab = slab_addr t i in
+      ignore (Pmem.load ~size:1 slab) (* slab id, race #3 *);
+      for j = 0 to items_per_slab - 1 do
+        let it = item_addr slab j in
+        if Pmem.load ~size:1 it = it_linked then begin
+          let key = Pmem.validating (fun () -> Pmem.load_int (it + 16)) in
+          match read_item it key with Some _ -> incr found | None -> ()
+        end
+      done
+    done;
+    !found
+  end
+
+let workload =
+  [ (101, "alpha"); (202, "bravo"); (303, "charlie"); (404, "delta"); (505, "echo") ]
+
+let program =
+  Pm_harness.Program.make ~name:"Memcached"
+    ~pre:(fun () ->
+      (* Startup is part of the crash-tested run: the pool-format stores
+         race against crashes during the serving phase. *)
+      let t = startup () in
+      List.iter (fun (k, v) -> set t ~key:k ~value:v) workload;
+      List.iter (fun (k, _) -> ignore (get t ~key:k)) workload;
+      delete t ~key:303;
+      ignore (append t ~key:101 ~suffix:"-v2");
+      ignore (incr_counter t ~key:777);
+      ignore (incr_counter t ~key:777);
+      ignore (stats t))
+    ~post:(fun () ->
+      let t = open_existing () in
+      ignore (restart_check t))
+    ()

@@ -1,0 +1,42 @@
+(** Memcached-pmem (Lenovo port): a slab-allocated key-value cache that
+    persists items with the low-level libpmem API ([pmem_persist]).
+
+    Reproduces the four Memcached persistency races of Table 4 (#2–#5):
+    the plain byte stores to [valid] in the pool header and [id] in each
+    slab header ([pslab.c]), and the plain stores to [it_flags] and
+    [cas] in items ([memcached.h]).  Item payloads are checksummed, so
+    races on them are benign (section 7.5). *)
+
+type t
+
+val slab_count : int
+val items_per_slab : int
+
+(** Format the slab pool (server startup, crash-tested). *)
+val startup : unit -> t
+
+val open_existing : unit -> t
+
+(** Store a key/value pair (the client's [set] command). *)
+val set : t -> key:int -> value:string -> unit
+
+(** Retrieve a value ([get]); validates the payload checksum. *)
+val get : t -> key:int -> string option
+
+(** Unlink an item ([delete]); clears [it_flags]. *)
+val delete : t -> key:int -> unit
+
+(** [append] onto an existing value; false when absent or too large. *)
+val append : t -> key:int -> suffix:string -> bool
+
+(** Numeric increment of a decimal value ([incr]); returns the new
+    value. *)
+val incr_counter : t -> key:int -> int
+
+(** The [stats] command: number of linked items. *)
+val stats : t -> int
+
+(** Post-crash restart: re-validate the pool and every slab/item. *)
+val restart_check : t -> int  (** number of valid items found *)
+
+val program : Pm_harness.Program.t

@@ -1,0 +1,308 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* An adaptive radix tree over 4-bit nibbles with two inner node sizes,
+   as in ART/P-ART (N4 grows into N16 when full; the paper's bug list
+   cites both N4.cpp and N16.cpp for the counter stores).
+
+   N16 node (type 0): type@0, compactCount@8, count@16,
+                      children@24: 16 x 8 (indexed by nibble)
+   Leaf     (type 1): type@0, key@24, value@32
+   N4 node  (type 2): type@0, compactCount@8, count@16,
+                      keys@24: 4 x 1 byte, children@32: 4 x 8
+
+   Children are std::atomic<N*> in the concurrent original; the
+   compactCount/count bookkeeping stores are plain (races #9, #10).
+
+   Deletion list (per tree, modelling Epoche.h):
+     headDeletionList@0  deletitionListCount@8  added@16  thresholdCounter@24
+   LabelDelete: nodes@0 (4 x 8)  nodesCount@32  next@40
+
+   Descriptor: root@0  deletion_list@8 *)
+
+let n16_bytes = 24 + (16 * 8)
+let n4_bytes = 32 + (4 * 8)
+let nibbles = 6 (* key depth: 6 nibbles of 4 bits *)
+
+let label_compact = "compactCount in N class in N.h"
+let label_count = "count in N class in N.h"
+let label_dl_count = "deletitionListCount in DeletionList class in Epoche.h"
+let label_dl_head = "headDeletionList in DeletionList class in Epoche.h"
+let label_ld_nodes_count = "nodesCount in LabelDelete struct in Epoche.h"
+let label_dl_added = "added in DeletionList class in Epoche.h"
+let label_dl_threshold = "thresholdCounter in DeletionList class in Epoche.h"
+
+let release = Px86.Access.Release
+let acquire = Px86.Access.Acquire
+
+let node_type n = Pmem.load_int n
+let compact_count n = Pmem.load_int (n + 8)
+let count_of n = Pmem.load_int (n + 16)
+
+let n16_child_addr node i = node + 24 + (8 * i)
+let n4_key_addr node i = node + 24 + i
+let n4_child_addr node i = node + 32 + (8 * i)
+
+let new_node ~ntype ~bytes =
+  let n = Pmem.alloc ~align:64 bytes in
+  Pmem.store n (Int64.of_int ntype);
+  Pmem.persist n bytes;
+  n
+
+let new_n16 () = new_node ~ntype:0 ~bytes:n16_bytes
+let new_n4 () = new_node ~ntype:2 ~bytes:n4_bytes
+
+let new_leaf ~key ~value =
+  let n = new_node ~ntype:1 ~bytes:n16_bytes in
+  Pmem.store (n + 24) (Int64.of_int key);
+  Pmem.store (n + 32) (Int64.of_int value);
+  Pmem.persist (n + 24) 16;
+  n
+
+let create () =
+  let t = Pmem.alloc ~align:64 16 in
+  let root = new_n16 () in
+  let dl = Pmem.alloc ~align:64 32 in
+  Pmem.store t (Int64.of_int root);
+  Pmem.store (t + 8) (Int64.of_int dl);
+  Pmem.persist t 16;
+  Pmem.set_root 2 t;
+  t
+
+let open_existing () = Pmem.get_root 2
+let root_of t = Int64.to_int (Pmem.load t)
+let deletion_list t = Int64.to_int (Pmem.load (t + 8))
+
+let nibble key depth = (key lsr (4 * (nibbles - 1 - depth))) land 0xF
+
+(* Bump the bookkeeping counters: the publication step of N::insert in
+   N4.cpp/N16.cpp — plain stores (races #9 and #10). *)
+let bump_counts node =
+  let compact = compact_count node in
+  let count = count_of node in
+  Pmem.store_int ~label:label_compact (node + 8) (compact + 1);
+  Pmem.store_int ~label:label_count (node + 16) (count + 1);
+  Pmem.persist (node + 8) 16
+
+(* N16: direct-indexed children. *)
+let n16_find node idx = Pmem.load_int ~atomic:acquire (n16_child_addr node idx)
+
+let n16_add node idx child =
+  Pmem.store ~atomic:release (n16_child_addr node idx) (Int64.of_int child);
+  Pmem.persist (n16_child_addr node idx) 8;
+  bump_counts node
+
+(* N4: linear key array; the key byte is persisted before the counters
+   publish it. *)
+let n4_find node idx =
+  let cc = compact_count node in
+  let rec scan i =
+    if i >= cc || i >= 4 then 0
+    else if Pmem.load_int ~size:1 (n4_key_addr node i) = idx then
+      Pmem.load_int ~atomic:acquire (n4_child_addr node i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let n4_is_full node = compact_count node >= 4
+
+let n4_add node idx child =
+  let cc = compact_count node in
+  assert (cc < 4);
+  Pmem.store ~size:1 (n4_key_addr node cc) (Int64.of_int idx);
+  Pmem.store ~atomic:release (n4_child_addr node cc) (Int64.of_int child);
+  Pmem.persist (n4_key_addr node cc) 1;
+  Pmem.persist (n4_child_addr node cc) 8;
+  bump_counts node
+
+(* Grow a full N4 into an N16: copy the children into the bigger node,
+   persist it fully, then swing the parent's child pointer (atomic), as
+   N4::change does. *)
+let grow_n4 node ~parent_slot =
+  let n16 = new_n16 () in
+  let cc = compact_count node in
+  for i = 0 to min cc 4 - 1 do
+    let idx = Pmem.load_int ~size:1 (n4_key_addr node i) in
+    let child = Pmem.load_int ~atomic:acquire (n4_child_addr node i) in
+    Pmem.store ~atomic:release (n16_child_addr n16 idx) (Int64.of_int child)
+  done;
+  Pmem.store_int ~label:label_compact (n16 + 8) cc;
+  Pmem.store_int ~label:label_count (n16 + 16) (count_of node);
+  Pmem.persist n16 n16_bytes;
+  Pmem.store ~atomic:release parent_slot (Int64.of_int n16);
+  Pmem.persist parent_slot 8;
+  n16
+
+let find_child node idx =
+  match node_type node with
+  | 0 -> n16_find node idx
+  | 2 -> n4_find node idx
+  | _ -> 0
+
+let add_child node idx child =
+  match node_type node with
+  | 0 -> n16_add node idx child
+  | 2 -> n4_add node idx child
+  | _ -> invalid_arg "P_art.add_child: not an inner node"
+
+let insert t ~key ~value =
+  let rec go node ~slot depth =
+    (* Grow first when a full N4 needs a new slot. *)
+    let idx = nibble key depth in
+    let child = find_child node idx in
+    if child = 0 && node_type node = 2 && n4_is_full node then
+      go (grow_n4 node ~parent_slot:slot) ~slot depth
+    else if depth = nibbles - 1 then begin
+      if child = 0 then add_child node idx (new_leaf ~key ~value)
+      else begin
+        (* Leaf update in place (persisted). *)
+        Pmem.store (child + 32) (Int64.of_int value);
+        Pmem.persist (child + 32) 8
+      end
+    end
+    else if child = 0 then begin
+      let inner = new_n4 () in
+      add_child node idx inner;
+      go inner ~slot:0 (depth + 1)
+      (* slot unused: a fresh N4 cannot be full *)
+    end
+    else begin
+      let slot =
+        match node_type node with
+        | 0 -> n16_child_addr node idx
+        | _ ->
+            (* position of idx in the N4 key array *)
+            let cc = compact_count node in
+            let rec pos i =
+              if i >= cc then 0
+              else if Pmem.load_int ~size:1 (n4_key_addr node i) = idx then
+                n4_child_addr node i
+              else pos (i + 1)
+            in
+            pos 0
+      in
+      go child ~slot (depth + 1)
+    end
+  in
+  go (root_of t) ~slot:0 0
+
+let lookup t ~key =
+  let rec go node depth =
+    if node = 0 then None
+    else if node_type node = 1 then
+      if Pmem.load_int (node + 24) = key then Some (Pmem.load_int (node + 32)) else None
+    else if depth = nibbles then None
+    else go (find_child node (nibble key depth)) (depth + 1)
+  in
+  go (root_of t) 0
+
+(* Epoche-style deferred reclamation: the removed leaf is detached, then
+   recorded on the deletion list.  Every bookkeeping store is plain and
+   never carefully persisted — the crash-inconsistent allocator the
+   RECIPE authors acknowledged (races #11-#15). *)
+let mark_node_for_deletion t node =
+  let dl = deletion_list t in
+  let ld = Pmem.alloc ~align:64 48 in
+  Pmem.store (ld + 0) (Int64.of_int node);
+  let head = Pmem.load_int (dl + 0) in
+  Pmem.store (ld + 40) (Int64.of_int head);
+  Pmem.persist ld 48;
+  Pmem.store_int ~label:label_ld_nodes_count (ld + 32) 1;
+  Pmem.store_int ~label:label_dl_head (dl + 0) ld;
+  Pmem.store_int ~label:label_dl_count (dl + 8) (Pmem.load_int (dl + 8) + 1);
+  Pmem.store_int ~label:label_dl_added (dl + 16) (Pmem.load_int (dl + 16) + 1);
+  Pmem.store_int ~label:label_dl_threshold (dl + 24) (Pmem.load_int (dl + 24) + 1);
+  Pmem.persist dl 32
+
+let remove t ~key =
+  let rec go node depth =
+    if node <> 0 && node_type node <> 1 then
+      if depth = nibbles - 1 then begin
+        let idx = nibble key depth in
+        let leaf = find_child node idx in
+        if leaf <> 0 then begin
+          (* Detach: clear the child slot (atomic, as in N::remove). *)
+          (match node_type node with
+          | 0 ->
+              Pmem.store ~atomic:release (n16_child_addr node idx) 0L;
+              Pmem.persist (n16_child_addr node idx) 8
+          | _ ->
+              let cc = compact_count node in
+              let rec clear i =
+                if i < cc then
+                  if Pmem.load_int ~size:1 (n4_key_addr node i) = idx then begin
+                    Pmem.store ~atomic:release (n4_child_addr node i) 0L;
+                    Pmem.persist (n4_child_addr node i) 8
+                  end
+                  else clear (i + 1)
+              in
+              clear 0);
+          let count = count_of node in
+          Pmem.store_int ~label:label_count (node + 16) (count - 1);
+          Pmem.persist (node + 16) 8;
+          mark_node_for_deletion t leaf
+        end
+      end
+      else go (find_child node (nibble key depth)) (depth + 1)
+  in
+  go (root_of t) 0
+
+let recover_scan t =
+  (* Read node headers (counts first — they gate which slots are live in
+     the original), then children; then audit the deletion list. *)
+  let leaves = ref 0 in
+  let rec walk node =
+    if node <> 0 then
+      match node_type node with
+      | 1 ->
+          ignore (Pmem.load_int (node + 24));
+          ignore (Pmem.load_int (node + 32));
+          incr leaves
+      | 0 ->
+          ignore (Pmem.load_int (node + 8));
+          ignore (Pmem.load_int (node + 16));
+          for i = 0 to 15 do
+            walk (Pmem.load_int ~atomic:acquire (n16_child_addr node i))
+          done
+      | 2 ->
+          let cc = Pmem.load_int (node + 8) in
+          ignore (Pmem.load_int (node + 16));
+          for i = 0 to min cc 4 - 1 do
+            ignore (Pmem.load_int ~size:1 (n4_key_addr node i));
+            walk (Pmem.load_int ~atomic:acquire (n4_child_addr node i))
+          done
+      | _ -> ()
+  in
+  walk (root_of t);
+  let dl = deletion_list t in
+  ignore (Pmem.load_int (dl + 8));
+  ignore (Pmem.load_int (dl + 16));
+  ignore (Pmem.load_int (dl + 24));
+  let rec walk_dl ld =
+    if ld <> 0 then begin
+      let n = Pmem.load_int (ld + 32) in
+      for i = 0 to min 3 (n - 1) do
+        ignore (Pmem.load_int (ld + (8 * i)))
+      done;
+      walk_dl (Pmem.load_int (ld + 40))
+    end
+  in
+  walk_dl (Pmem.load_int (dl + 0));
+  !leaves
+
+let workload_keys = [ 0x111; 0x222; 0x333; 0x1234; 0x2345; 0x2346; 0x2347; 0x2348; 0x2349 ]
+
+let program =
+  Pm_harness.Program.make ~name:"P-ART"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> insert t ~key:k ~value:(k * 2)) workload_keys;
+      remove t ~key:0x111;
+      remove t ~key:0x333)
+    ~post:(fun () ->
+      let t = open_existing () in
+      ignore (recover_scan t);
+      List.iter (fun k -> ignore (lookup t ~key:k)) workload_keys)
+    ()

@@ -1,0 +1,22 @@
+(** P-ART: the RECIPE port of the Adaptive Radix Tree, with the
+    epoch-based node reclamation of the original ([Epoche.h]).
+
+    Reproduces the seven persistency races of Table 3 (#9–#15): the
+    plain stores to [compactCount] and [count] in the node header
+    ([N.h]) and to the [DeletionList]/[LabelDelete] bookkeeping fields
+    of the epoch-based memory reclamation ([Epoche.h]) — the latter
+    belong to the crash-inconsistent allocator the RECIPE authors
+    acknowledged (paper, section 7.4). *)
+
+type t
+
+val create : unit -> t
+val open_existing : unit -> t
+val insert : t -> key:int -> value:int -> unit
+val lookup : t -> key:int -> int option
+val remove : t -> key:int -> unit
+
+(** Recovery traversal: node headers, children, and deletion lists. *)
+val recover_scan : t -> int  (** number of live leaves found *)
+
+val program : Pm_harness.Program.t

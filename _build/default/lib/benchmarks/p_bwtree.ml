@@ -1,0 +1,186 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* Layout:
+     BwTreeBase: epoch@0, mapping_table@8, table_size@16
+     mapping table: table_size x 8-byte node pointers (CAS-installed)
+     delta record: kind@0 (1 = insert delta, 3 = delete delta),
+                   key@8, value@16, next@24
+     base node:    kind@0 (2), count@8, pairs@16 (base_cap x {key;value})
+
+   Chains longer than [consolidate_after] are consolidated into a fresh
+   base node, installed with the same persist-then-CAS protocol. *)
+
+let table_size = 16
+let delta_bytes = 32
+let base_cap = 16
+let base_bytes = 16 + (base_cap * 16)
+let consolidate_after = 6
+
+let label_epoch = "epoch in BwTreeBase class in bwtree.h"
+
+let create () =
+  let t = Pmem.alloc ~align:64 24 in
+  let mt = Pmem.alloc ~align:64 (8 * table_size) in
+  Pmem.store t 0L;
+  Pmem.store (t + 8) (Int64.of_int mt);
+  Pmem.store (t + 16) (Int64.of_int table_size);
+  Pmem.persist t 24;
+  Pmem.set_root 3 t;
+  t
+
+let open_existing () = Pmem.get_root 3
+
+let mapping_table t = Pmem.load_int (t + 8)
+let slot_of_key key = Bench_util.hash64 key land (table_size - 1)
+let slot_addr t key = mapping_table t + (8 * slot_of_key key)
+
+(* Every operation bumps the global epoch for the GC — a plain store
+   that the original never persists in order (race #16). *)
+let bump_epoch t =
+  let e = Pmem.load_int t in
+  Pmem.store_int ~label:label_epoch t (e + 1);
+  Pmem.persist t 8
+
+let current_epoch t = Pmem.load_int t
+
+(* Walk a chain: insert/delete deltas shadow older records; a base node
+   terminates the chain. *)
+let rec chain_find d key =
+  if d = 0 then None
+  else
+    match Pmem.load_int d with
+    | 1 (* insert delta *) ->
+        if Pmem.load_int (d + 8) = key then Some (Pmem.load_int (d + 16))
+        else chain_find (Pmem.load_int (d + 24)) key
+    | 3 (* delete delta *) ->
+        if Pmem.load_int (d + 8) = key then None
+        else chain_find (Pmem.load_int (d + 24)) key
+    | 2 (* base node *) ->
+        let count = Pmem.load_int (d + 8) in
+        let rec scan i =
+          if i >= count then None
+          else if Pmem.load_int (d + 16 + (16 * i)) = key then
+            Some (Pmem.load_int (d + 24 + (16 * i)))
+          else scan (i + 1)
+        in
+        scan 0
+    | _ -> None
+
+let rec chain_pairs d acc shadowed =
+  if d = 0 then List.rev acc
+  else
+    match Pmem.load_int d with
+    | 1 ->
+        let k = Pmem.load_int (d + 8) in
+        if List.mem k shadowed then chain_pairs (Pmem.load_int (d + 24)) acc shadowed
+        else
+          chain_pairs (Pmem.load_int (d + 24))
+            ((k, Pmem.load_int (d + 16)) :: acc)
+            (k :: shadowed)
+    | 3 ->
+        let k = Pmem.load_int (d + 8) in
+        chain_pairs (Pmem.load_int (d + 24)) acc (k :: shadowed)
+    | 2 ->
+        let count = Pmem.load_int (d + 8) in
+        let rec collect i acc =
+          if i >= count then acc
+          else
+            let k = Pmem.load_int (d + 16 + (16 * i)) in
+            if List.mem k shadowed then collect (i + 1) acc
+            else collect (i + 1) ((k, Pmem.load_int (d + 24 + (16 * i))) :: acc)
+        in
+        List.rev (collect 0 (List.rev acc))
+    | _ -> List.rev acc
+
+let chain_length d =
+  let rec go d n =
+    if d = 0 then n
+    else
+      match Pmem.load_int d with
+      | 1 | 3 -> go (Pmem.load_int (d + 24)) (n + 1)
+      | _ -> n + 1
+  in
+  go d 0
+
+(* Consolidation: collapse the chain into one base node, persist it
+   fully, then CAS it in (standard Bw-tree maintenance). *)
+let consolidate _t slot =
+  let head = Pmem.load ~atomic:Px86.Access.Acquire slot in
+  let pairs = chain_pairs (Int64.to_int head) [] [] in
+  if List.length pairs <= base_cap then begin
+    let b = Pmem.alloc ~align:64 base_bytes in
+    Pmem.store b 2L;
+    Pmem.store (b + 8) (Int64.of_int (List.length pairs));
+    List.iteri
+      (fun i (k, v) ->
+        Pmem.store (b + 16 + (16 * i)) (Int64.of_int k);
+        Pmem.store (b + 24 + (16 * i)) (Int64.of_int v))
+      pairs;
+    Pmem.persist b base_bytes;
+    if Pmem.cas slot ~expected:head ~desired:(Int64.of_int b) then
+      Pmem.persist slot 8
+  end
+
+let maybe_consolidate t slot =
+  let head = Int64.to_int (Pmem.load ~atomic:Px86.Access.Acquire slot) in
+  if chain_length head > consolidate_after then consolidate t slot
+
+(* Install an insert delta at the head of the slot's chain.  The delta
+   is fully persisted before the CAS makes it reachable, which is what
+   keeps the data fields race-free. *)
+let insert t ~key ~value =
+  bump_epoch t;
+  let slot = slot_addr t key in
+  let rec attempt () =
+    let head = Pmem.load ~atomic:Px86.Access.Acquire slot in
+    let d = Pmem.alloc ~align:64 delta_bytes in
+    Pmem.store d 1L;
+    Pmem.store (d + 8) (Int64.of_int key);
+    Pmem.store (d + 16) (Int64.of_int value);
+    Pmem.store (d + 24) head;
+    Pmem.persist d delta_bytes;
+    if Pmem.cas slot ~expected:head ~desired:(Int64.of_int d) then Pmem.persist slot 8
+    else attempt ()
+  in
+  attempt ();
+  maybe_consolidate t slot
+
+
+let lookup t ~key =
+  bump_epoch t;
+  chain_find (Int64.to_int (Pmem.load ~atomic:Px86.Access.Acquire (slot_addr t key))) key
+
+let delete t ~key =
+  bump_epoch t;
+  let slot = slot_addr t key in
+  let rec attempt () =
+    let head = Pmem.load ~atomic:Px86.Access.Acquire slot in
+    let d = Pmem.alloc ~align:64 delta_bytes in
+    Pmem.store d 3L;
+    Pmem.store (d + 8) (Int64.of_int key);
+    Pmem.store (d + 24) head;
+    Pmem.persist d delta_bytes;
+    if Pmem.cas slot ~expected:head ~desired:(Int64.of_int d) then Pmem.persist slot 8
+    else attempt ()
+  in
+  attempt ();
+  maybe_consolidate t slot
+
+let workload_keys = [ 4; 8; 15; 16; 23; 42 ]
+
+let program =
+  Pm_harness.Program.make ~name:"P-BwTree"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> insert t ~key:k ~value:(k + 1000)) workload_keys;
+      delete t ~key:15;
+      List.iter (fun k -> insert t ~key:k ~value:(k + 2000)) [ 4; 8 ])
+    ~post:(fun () ->
+      let t = open_existing () in
+      (* Recovery inspects the epoch first (GC bookkeeping), then data. *)
+      ignore (current_epoch t);
+      List.iter (fun k -> ignore (lookup t ~key:k)) workload_keys)
+    ()

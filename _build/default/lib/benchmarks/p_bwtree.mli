@@ -1,0 +1,22 @@
+(** P-BwTree: the RECIPE port of the Bw-tree — a lock-free B-tree whose
+    nodes are reached through a mapping table and updated by CAS-installed
+    delta records, with epoch-based garbage collection.
+
+    Reproduces race #16 of Table 3: the plain store to the [epoch]
+    counter in [BwTreeBase] ([bwtree.h]).  All structural updates go
+    through atomic CAS installs, so only the epoch bookkeeping races. *)
+
+type t
+
+val create : unit -> t
+val open_existing : unit -> t
+val insert : t -> key:int -> value:int -> unit
+val lookup : t -> key:int -> int option
+
+(** Install a delete delta. *)
+val delete : t -> key:int -> unit
+
+(** Collapse a key's delta chain into a base node (persist-then-CAS). *)
+val consolidate : t -> Px86.Addr.t -> unit
+val current_epoch : t -> int
+val program : Pm_harness.Program.t

@@ -1,0 +1,116 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* One bucket per cache line, as in CLHT:
+     lock@0, keys@8..24 (3 x 8), vals@32..48 (3 x 8), next@56
+   Table: n_buckets buckets; descriptor: table@0, n_buckets@8.
+
+   When a bucket overflows, the table is resized (doubled) CLHT-style:
+   a fresh table is populated with atomic stores, fully persisted, and
+   then published by swinging the descriptor's table pointer. *)
+
+let initial_buckets = 8
+let entries_per_bucket = 3
+
+let release = Px86.Access.Release
+let acquire = Px86.Access.Acquire
+
+let create () =
+  let t = Pmem.alloc ~align:64 16 in
+  let table = Pmem.alloc ~align:64 (64 * initial_buckets) in
+  Pmem.store ~atomic:release t (Int64.of_int table);
+  Pmem.store (t + 8) (Int64.of_int initial_buckets);
+  Pmem.persist t 16;
+  Pmem.persist table (64 * initial_buckets);
+  Pmem.set_root 4 t;
+  t
+
+let open_existing () = Pmem.get_root 4
+
+let buckets t = Pmem.load_int (t + 8)
+
+let bucket_addr t key =
+  let table = Int64.to_int (Pmem.load ~atomic:acquire t) in
+  table + (64 * (Bench_util.hash64 key land (buckets t - 1)))
+
+let key_addr b i = b + 8 + (8 * i)
+let val_addr b i = b + 32 + (8 * i)
+
+let bucket_entries b =
+  List.filter_map
+    (fun i ->
+      let k = Pmem.load ~atomic:acquire (key_addr b i) in
+      if k = 0L then None
+      else Some (Int64.to_int k, Int64.to_int (Pmem.load ~atomic:acquire (val_addr b i))))
+    (List.init entries_per_bucket (fun i -> i))
+
+let place_in b ~key ~value =
+  let rec place i =
+    if i >= entries_per_bucket then false
+    else if Pmem.load ~atomic:acquire (key_addr b i) = 0L then begin
+      Pmem.store ~atomic:release (val_addr b i) (Int64.of_int value);
+      Pmem.store ~atomic:release (key_addr b i) (Int64.of_int key);
+      Pmem.persist b 64;
+      true
+    end
+    else place (i + 1)
+  in
+  place 0
+
+(* CLHT resize: build a double-size table off to the side (atomic
+   stores, fully persisted), then publish it through the descriptor. *)
+let resize t =
+  let old_n = buckets t in
+  let old_table = Int64.to_int (Pmem.load ~atomic:acquire t) in
+  let n = 2 * old_n in
+  let table = Pmem.alloc ~align:64 (64 * n) in
+  for i = 0 to old_n - 1 do
+    List.iter
+      (fun (k, v) ->
+        let b = table + (64 * (Bench_util.hash64 k land (n - 1))) in
+        ignore (place_in b ~key:k ~value:v))
+      (bucket_entries (old_table + (64 * i)))
+  done;
+  Pmem.persist table (64 * n);
+  Pmem.store (t + 8) (Int64.of_int n);
+  Pmem.store ~atomic:release t (Int64.of_int table);
+  Pmem.persist t 16
+
+(* All stores here are atomic (volatile in the original), so none of
+   them can be torn by the compiler: no persistency races. *)
+let rec insert t ~key ~value =
+  let b = bucket_addr t key in
+  let rec lock () = if not (Pmem.cas b ~expected:0L ~desired:1L) then lock () in
+  lock ();
+  let placed = place_in b ~key ~value in
+  Pmem.store ~atomic:release b 0L;
+  Pmem.persist b 8;
+  if placed then true
+  else begin
+    resize t;
+    insert t ~key ~value
+  end
+
+let get t ~key =
+  let b = bucket_addr t key in
+  let rec scan i =
+    if i >= entries_per_bucket then None
+    else if Pmem.load ~atomic:acquire (key_addr b i) = Int64.of_int key then
+      Some (Int64.to_int (Pmem.load ~atomic:acquire (val_addr b i)))
+    else scan (i + 1)
+  in
+  scan 0
+
+let workload_keys = [ 2; 3; 5; 7; 11; 13 ]
+
+let program =
+  Pm_harness.Program.make ~name:"P-CLHT"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> ignore (insert t ~key:k ~value:(k * k))) workload_keys)
+    ~post:(fun () ->
+      let t = open_existing () in
+      List.iter (fun k -> ignore (get t ~key:k)) workload_keys)
+    ()

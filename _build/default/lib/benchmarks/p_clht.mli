@@ -1,0 +1,22 @@
+(** P-CLHT: the RECIPE port of the Cache-Line Hash Table.
+
+    P-CLHT is the one benchmark in which Yashme found {e no} persistency
+    races (Tables 3 and 5): its lock-free design declares every critical
+    field volatile, so all key/value/lock stores compile to single
+    atomic instructions.  This port marks them all atomic accordingly. *)
+
+type t
+
+val create : unit -> t
+val open_existing : unit -> t
+
+(** Always succeeds; overflowing a bucket triggers a CLHT-style resize
+    (new table built aside, persisted, then published atomically). *)
+val insert : t -> key:int -> value:int -> bool
+
+val get : t -> key:int -> int option
+
+(** Current bucket count (doubles on resize). *)
+val buckets : t -> int
+
+val program : Pm_harness.Program.t

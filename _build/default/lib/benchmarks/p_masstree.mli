@@ -1,0 +1,32 @@
+(** P-Masstree: the RECIPE port of Masstree — a trie of B+-tree nodes
+    whose leaves publish entries through a [permutation] word and link
+    through a [next] pointer.
+
+    Reproduces races #17–#19 of Table 3: the plain stores to [root_] in
+    the masstree class, and to [permutation] and [next] in the leafnode
+    class ([masstree.h]).  Key/value slots are persisted before the
+    permutation publishes them, so they do not race. *)
+
+type t
+
+val leaf_width : int
+
+val create : unit -> t
+val open_existing : unit -> t
+val put : t -> key:int -> value:int -> unit
+val get : t -> key:int -> int option
+
+(** Scan all leaves through the next chain (recovery read path). *)
+val scan : t -> (int * int) list
+
+(** {1 Multi-layer keys}
+
+    Masstree proper is a trie of B+-trees: each 8-byte key slice indexes
+    one layer, and longer keys descend through link values into deeper
+    layers.  [put_multi]/[get_multi] take the key as its list of
+    slices. *)
+
+val put_multi : t -> key:int list -> value:int -> unit
+val get_multi : t -> key:int list -> int option
+
+val program : Pm_harness.Program.t

@@ -1,0 +1,166 @@
+open Pm_runtime
+
+(* Node: n@0, leaf@8, keys@16 (order x 8), vals@(16+8*order),
+   children@(16+16*order) (order+1 pointers).
+   Pool root object: root_node@0. *)
+
+let order = 4
+let o_keys = 16
+let o_vals n_keys = 16 + (8 * n_keys)
+let o_children n_keys = 16 + (16 * n_keys)
+let node_bytes = 16 + (16 * order) + (8 * (order + 1))
+
+type t = Pmdk_pool.t
+
+let nkeys node = Pmem.load_int node
+let is_leaf node = Pmem.load_int (node + 8) = 1
+let key_at node i = Pmem.load_int (node + o_keys + (8 * i))
+let val_at node i = Pmem.load_int (node + o_vals order + (8 * i))
+let child_at node i = Pmem.load_int (node + o_children order + (8 * i))
+
+let set_nkeys p node v = Pmdk_pool.tx_store p node (Int64.of_int v)
+let set_leaf p node v = Pmdk_pool.tx_store p (node + 8) (if v then 1L else 0L)
+let set_key p node i k = Pmdk_pool.tx_store p (node + o_keys + (8 * i)) (Int64.of_int k)
+let set_val p node i v = Pmdk_pool.tx_store p (node + o_vals order + (8 * i)) (Int64.of_int v)
+let set_child p node i c = Pmdk_pool.tx_store p (node + o_children order + (8 * i)) (Int64.of_int c)
+
+let new_node p ~leaf =
+  let n = Pmdk_pool.tx_alloc p ~align:64 node_bytes in
+  set_nkeys p n 0;
+  set_leaf p n leaf;
+  n
+
+let create () =
+  let p = Pmdk_pool.create ~root_size:8 in
+  Pmdk_pool.tx p (fun () ->
+      let root = new_node p ~leaf:true in
+      Pmdk_pool.tx_store p (Pmdk_pool.root p) (Int64.of_int root));
+  p
+
+let open_existing () = Pmdk_pool.open_pool ()
+
+let root_node p = Pmem.load_int (Pmdk_pool.root p)
+
+(* In-transaction views must read through the redo log. *)
+let tnkeys p node = Int64.to_int (Pmdk_pool.tx_load p node)
+let tkey p node i = Int64.to_int (Pmdk_pool.tx_load p (node + o_keys + (8 * i)))
+let tval p node i = Int64.to_int (Pmdk_pool.tx_load p (node + o_vals order + (8 * i)))
+let tchild p node i = Int64.to_int (Pmdk_pool.tx_load p (node + o_children order + (8 * i)))
+let tleaf p node = Pmdk_pool.tx_load p (node + 8) = 1L
+
+(* Split child [i] of [parent] (child is full). *)
+let split_child p parent i child =
+  let m = order / 2 in
+  let leaf = tleaf p child in
+  let sib = new_node p ~leaf in
+  let moved = order - m - 1 in
+  for j = 0 to moved - 1 do
+    set_key p sib j (tkey p child (m + 1 + j));
+    set_val p sib j (tval p child (m + 1 + j))
+  done;
+  if not leaf then
+    for j = 0 to moved do
+      set_child p sib j (tchild p child (m + 1 + j))
+    done;
+  set_nkeys p sib moved;
+  set_nkeys p child m;
+  (* Shift the parent's keys/children right of slot i. *)
+  let pn = tnkeys p parent in
+  for j = pn - 1 downto i do
+    set_key p parent (j + 1) (tkey p parent j);
+    set_val p parent (j + 1) (tval p parent j);
+    set_child p parent (j + 2) (tchild p parent (j + 1))
+  done;
+  set_key p parent i (tkey p child m);
+  set_val p parent i (tval p child m);
+  set_child p parent (i + 1) sib;
+  set_nkeys p parent (pn + 1)
+
+let rec insert_nonfull p node key value =
+  let n = tnkeys p node in
+  if tleaf p node then begin
+    let rec pos i = if i < n && tkey p node i < key then pos (i + 1) else i in
+    let at = pos 0 in
+    if at < n && tkey p node at = key then set_val p node at value
+    else begin
+      for j = n - 1 downto at do
+        set_key p node (j + 1) (tkey p node j);
+        set_val p node (j + 1) (tval p node j)
+      done;
+      set_key p node at key;
+      set_val p node at value;
+      set_nkeys p node (n + 1)
+    end
+  end
+  else begin
+    let rec pos i = if i < n && tkey p node i < key then pos (i + 1) else i in
+    let at = pos 0 in
+    if at < n && tkey p node at = key then set_val p node at value
+    else begin
+      let child = tchild p node at in
+      if tnkeys p child = order then begin
+        split_child p node at child;
+        let at = if tkey p node at < key then at + 1 else at in
+        insert_nonfull p (tchild p node at) key value
+      end
+      else insert_nonfull p child key value
+    end
+  end
+
+let insert p ~key ~value =
+  Pmdk_pool.tx p (fun () ->
+      let root = Int64.to_int (Pmdk_pool.tx_load p (Pmdk_pool.root p)) in
+      if tnkeys p root = order then begin
+        let new_root = new_node p ~leaf:false in
+        set_child p new_root 0 root;
+        split_child p new_root 0 root;
+        Pmdk_pool.tx_store p (Pmdk_pool.root p) (Int64.of_int new_root);
+        insert_nonfull p new_root key value
+      end
+      else insert_nonfull p root key value)
+
+let lookup p ~key =
+  let rec go node =
+    if node = 0 then None
+    else begin
+      let n = nkeys node in
+      let rec pos i = if i < n && key_at node i < key then pos (i + 1) else i in
+      let at = pos 0 in
+      if at < n && key_at node at = key then Some (val_at node at)
+      else if is_leaf node then None
+      else go (child_at node at)
+    end
+  in
+  go (root_node p)
+
+let scan p =
+  let rec go node acc =
+    if node = 0 then acc
+    else begin
+      let n = nkeys node in
+      if is_leaf node then
+        List.fold_left (fun acc i -> (key_at node i, val_at node i) :: acc)
+          acc (List.init n (fun i -> i))
+      else begin
+        let acc = go (child_at node 0) acc in
+        List.fold_left
+          (fun acc i -> go (child_at node (i + 1)) ((key_at node i, val_at node i) :: acc))
+          acc (List.init n (fun i -> i))
+      end
+    end
+  in
+  List.sort compare (go (root_node p) [])
+
+let workload = [ (10, 1); (20, 2); (5, 3); (6, 4); (12, 5); (30, 6); (7, 7); (17, 8) ]
+
+let program =
+  Pm_harness.Program.make ~name:"Btree"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let p = Pmdk_pool.open_pool () in
+      List.iter (fun (k, v) -> insert p ~key:k ~value:v) workload)
+    ~post:(fun () ->
+      let p = open_existing () in
+      List.iter (fun (k, _) -> ignore (lookup p ~key:k)) workload;
+      ignore (scan p))
+    ()

@@ -1,0 +1,18 @@
+(** PMDK's [btree] example: a B-tree whose updates run inside
+    libpmemobj transactions.  All PM writes go through the redo log, so
+    the only persistency race it exposes is the log's entry pointer
+    (Table 4 #1 / Table 5 "Btree"). *)
+
+type t
+
+val order : int  (** max keys per node *)
+
+val create : unit -> t
+
+(** Reopen the pool, running log recovery. *)
+val open_existing : unit -> t
+
+val insert : t -> key:int -> value:int -> unit
+val lookup : t -> key:int -> int option
+val scan : t -> (int * int) list
+val program : Pm_harness.Program.t

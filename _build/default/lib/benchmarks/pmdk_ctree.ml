@@ -1,0 +1,127 @@
+open Pm_runtime
+
+(* Crit-bit tree.  Internal node: tag@0 = 1, bit@8, left@16, right@24.
+   Leaf: tag@0 = 2, key@8, value@16.  Pool root object: tree_root@0. *)
+
+type t = Pmdk_pool.t
+
+let node_bytes = 32
+
+let tag node = Pmem.load_int node
+let leaf_key node = Pmem.load_int (node + 8)
+let leaf_val node = Pmem.load_int (node + 16)
+let crit_bit node = Pmem.load_int (node + 8)
+let left node = Pmem.load_int (node + 16)
+let right node = Pmem.load_int (node + 24)
+
+let new_leaf p ~key ~value =
+  let n = Pmdk_pool.tx_alloc p ~align:32 node_bytes in
+  Pmdk_pool.tx_store p n 2L;
+  Pmdk_pool.tx_store p (n + 8) (Int64.of_int key);
+  Pmdk_pool.tx_store p (n + 16) (Int64.of_int value);
+  n
+
+let create () =
+  let p = Pmdk_pool.create ~root_size:8 in
+  p
+
+let open_existing () = Pmdk_pool.open_pool ()
+
+let root_of p = Pmem.load_int (Pmdk_pool.root p)
+
+let highest_diff_bit a b =
+  let x = a lxor b in
+  let rec go i = if i < 0 then -1 else if x land (1 lsl i) <> 0 then i else go (i - 1) in
+  go 62
+
+let insert p ~key ~value =
+  Pmdk_pool.tx p (fun () ->
+      let troot = Int64.to_int (Pmdk_pool.tx_load p (Pmdk_pool.root p)) in
+      if troot = 0 then begin
+        let leaf = new_leaf p ~key ~value in
+        Pmdk_pool.tx_store p (Pmdk_pool.root p) (Int64.of_int leaf)
+      end
+      else begin
+        let tleft n = Int64.to_int (Pmdk_pool.tx_load p (n + 16)) in
+        let tright n = Int64.to_int (Pmdk_pool.tx_load p (n + 24)) in
+        let ttag n = Int64.to_int (Pmdk_pool.tx_load p n) in
+        let tbit n = Int64.to_int (Pmdk_pool.tx_load p (n + 8)) in
+        (* Find the closest leaf. *)
+        let rec descend n = if ttag n = 2 then n else descend (if key land (1 lsl tbit n) <> 0 then tright n else tleft n) in
+        let closest = descend troot in
+        let ckey = Int64.to_int (Pmdk_pool.tx_load p (closest + 8)) in
+        if ckey = key then Pmdk_pool.tx_store p (closest + 16) (Int64.of_int value)
+        else begin
+          let bit = highest_diff_bit key ckey in
+          let leaf = new_leaf p ~key ~value in
+          (* Walk again, stopping where the crit-bit order places us. *)
+          let rec place parent_slot n =
+            if ttag n = 2 || tbit n < bit then begin
+              let inner = Pmdk_pool.tx_alloc p ~align:32 node_bytes in
+              Pmdk_pool.tx_store p inner 1L;
+              Pmdk_pool.tx_store p (inner + 8) (Int64.of_int bit);
+              let goes_right = key land (1 lsl bit) <> 0 in
+              Pmdk_pool.tx_store p (inner + 16) (Int64.of_int (if goes_right then n else leaf));
+              Pmdk_pool.tx_store p (inner + 24) (Int64.of_int (if goes_right then leaf else n));
+              Pmdk_pool.tx_store p parent_slot (Int64.of_int inner)
+            end
+            else
+              let slot = if key land (1 lsl tbit n) <> 0 then n + 24 else n + 16 in
+              place slot (Int64.to_int (Pmdk_pool.tx_load p slot))
+          in
+          place (Pmdk_pool.root p) troot
+        end
+      end)
+
+(* Crit-bit deletion: splice the leaf's sibling into the grandparent
+   slot, all inside one transaction. *)
+let remove p ~key =
+  Pmdk_pool.tx p (fun () ->
+      let ttag n = Int64.to_int (Pmdk_pool.tx_load p n) in
+      let tbit n = Int64.to_int (Pmdk_pool.tx_load p (n + 8)) in
+      let tslot slot = Int64.to_int (Pmdk_pool.tx_load p slot) in
+      let troot = tslot (Pmdk_pool.root p) in
+      if troot <> 0 then
+        if ttag troot = 2 then begin
+          if Int64.to_int (Pmdk_pool.tx_load p (troot + 8)) = key then
+            Pmdk_pool.tx_store p (Pmdk_pool.root p) 0L
+        end
+        else begin
+          let rec descend parent_slot n =
+            let child_slot = if key land (1 lsl tbit n) <> 0 then n + 24 else n + 16 in
+            let child = tslot child_slot in
+            if ttag child = 2 then begin
+              if Int64.to_int (Pmdk_pool.tx_load p (child + 8)) = key then begin
+                let sibling_slot =
+                  if child_slot = n + 24 then n + 16 else n + 24
+                in
+                Pmdk_pool.tx_store p parent_slot
+                  (Int64.of_int (tslot sibling_slot))
+              end
+            end
+            else descend child_slot child
+          in
+          descend (Pmdk_pool.root p) troot
+        end)
+
+let lookup p ~key =
+  let rec go n =
+    if n = 0 then None
+    else if tag n = 2 then if leaf_key n = key then Some (leaf_val n) else None
+    else go (if key land (1 lsl crit_bit n) <> 0 then right n else left n)
+  in
+  go (root_of p)
+
+let workload = [ (0b1010, 1); (0b0110, 2); (0b1111, 3); (0b0001, 4); (0b1001, 5) ]
+
+let program =
+  Pm_harness.Program.make ~name:"Ctree"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let p = Pmdk_pool.open_pool () in
+      List.iter (fun (k, v) -> insert p ~key:k ~value:v) workload;
+      remove p ~key:0b0110)
+    ~post:(fun () ->
+      let p = open_existing () in
+      List.iter (fun (k, _) -> ignore (lookup p ~key:k)) workload)
+    ()

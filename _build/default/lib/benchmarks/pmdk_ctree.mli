@@ -1,0 +1,17 @@
+(** PMDK's [ctree] example: a crit-bit tree updated inside libpmemobj
+    transactions (Table 5 "Ctree": the ulog entry-pointer race). *)
+
+type t
+
+val create : unit -> t
+
+(** Reopen the pool, running log recovery. *)
+val open_existing : unit -> t
+
+val insert : t -> key:int -> value:int -> unit
+
+(** Crit-bit deletion: splices the sibling subtree up, transactionally. *)
+val remove : t -> key:int -> unit
+
+val lookup : t -> key:int -> int option
+val program : Pm_harness.Program.t

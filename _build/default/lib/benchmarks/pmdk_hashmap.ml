@@ -1,0 +1,79 @@
+open Pm_runtime
+
+(* Pool root object: count@0, buckets@8.. (buckets x 8).
+   Entry: key@0, value@8, next@16. *)
+
+type t = Pmdk_pool.t
+
+let buckets = 8
+let entry_bytes = 24
+
+let create_tx () = Pmdk_pool.create ~root_size:(8 + (8 * buckets))
+let create_atomic () = create_tx ()
+let open_existing () = Pmdk_pool.open_pool ()
+
+let bucket_slot p key = Pmdk_pool.root p + 8 + (8 * (Bench_util.hash64 key land (buckets - 1)))
+
+let insert_tx p ~key ~value =
+  Pmdk_pool.tx p (fun () ->
+      let slot = bucket_slot p key in
+      let head = Pmdk_pool.tx_load p slot in
+      let e = Pmdk_pool.tx_alloc p ~align:32 entry_bytes in
+      Pmdk_pool.tx_store p e (Int64.of_int key);
+      Pmdk_pool.tx_store p (e + 8) (Int64.of_int value);
+      Pmdk_pool.tx_store p (e + 16) head;
+      Pmdk_pool.tx_store p slot (Int64.of_int e);
+      let c = Pmdk_pool.tx_load p (Pmdk_pool.root p) in
+      Pmdk_pool.tx_store p (Pmdk_pool.root p) (Int64.add c 1L))
+
+(* hashmap_atomic: persist the entry out of place, then publish the
+   bucket pointer and count through the allocator's redo log, mirroring
+   POBJ_LIST_INSERT_NEW_HEAD. *)
+let insert_atomic p ~key ~value =
+  let slot = bucket_slot p key in
+  let head = Pmem.load slot in
+  let e = Pmem.alloc ~align:32 entry_bytes in
+  Pmem.store e (Int64.of_int key);
+  Pmem.store (e + 8) (Int64.of_int value);
+  Pmem.store (e + 16) head;
+  Pmem.persist e entry_bytes;
+  let log = Pmdk_pool.ulog p in
+  Pmdk_ulog.append log ~offset:slot ~value:(Int64.of_int e);
+  Pmdk_ulog.append log ~offset:(Pmdk_pool.root p)
+    ~value:(Int64.add (Pmem.load (Pmdk_pool.root p)) 1L);
+  Pmdk_ulog.commit log;
+  Pmdk_ulog.apply log;
+  Pmdk_ulog.clear log
+
+let lookup p ~key =
+  let rec chase e =
+    if e = 0 then None
+    else if Pmem.load_int e = key then Some (Pmem.load_int (e + 8))
+    else chase (Pmem.load_int (e + 16))
+  in
+  chase (Pmem.load_int (bucket_slot p key))
+
+let count p = Pmem.load_int (Pmdk_pool.root p)
+
+let workload = [ (14, 1); (25, 2); (33, 3); (47, 4); (58, 5); (66, 6) ]
+
+let reader () =
+  let p = open_existing () in
+  ignore (count p);
+  List.iter (fun (k, _) -> ignore (lookup p ~key:k)) workload
+
+let program_tx =
+  Pm_harness.Program.make ~name:"hashmap-tx"
+    ~setup:(fun () -> ignore (create_tx ()))
+    ~pre:(fun () ->
+      let p = Pmdk_pool.open_pool () in
+      List.iter (fun (k, v) -> insert_tx p ~key:k ~value:v) workload)
+    ~post:reader ()
+
+let program_atomic =
+  Pm_harness.Program.make ~name:"hashmap-atomic"
+    ~setup:(fun () -> ignore (create_atomic ()))
+    ~pre:(fun () ->
+      let p = Pmdk_pool.open_pool () in
+      List.iter (fun (k, v) -> insert_atomic p ~key:k ~value:v) workload)
+    ~post:reader ()

@@ -1,0 +1,25 @@
+(** PMDK's two hashmap examples.
+
+    [hashmap_tx] performs every update inside a libpmemobj transaction;
+    [hashmap_atomic] persists the new entry first and then publishes it
+    through the allocator's redo log (as pmemobj's atomic lists do).
+    Both therefore expose the ulog entry-pointer race (Table 5 rows
+    "hashmap-tx" and "hashmap-atomic"). *)
+
+type t
+
+val buckets : int
+
+val create_tx : unit -> t
+val create_atomic : unit -> t
+
+(** Reopen a pool created by either variant, running log recovery. *)
+val open_existing : unit -> t
+
+val insert_tx : t -> key:int -> value:int -> unit
+val insert_atomic : t -> key:int -> value:int -> unit
+val lookup : t -> key:int -> int option
+val count : t -> int
+
+val program_tx : Pm_harness.Program.t
+val program_atomic : Pm_harness.Program.t

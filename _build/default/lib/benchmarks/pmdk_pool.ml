@@ -1,0 +1,103 @@
+open Pm_runtime
+
+(* Pool header: magic@0, root_ptr@8, ulog_ptr@16, undo_ptr@24. *)
+
+type t = {
+  header : Px86.Addr.t;
+  log : Pmdk_ulog.t;
+  undo : Pmdk_undolog.t;
+  mutable in_tx : bool;
+  mutable in_undo_tx : bool;
+}
+
+let magic = 0x504D444BL (* "PMDK" *)
+
+let create ~root_size =
+  let header = Pmem.alloc ~align:64 32 in
+  let log = Pmdk_ulog.create () in
+  let undo = Pmdk_undolog.create () in
+  let root = Pmem.alloc ~align:64 root_size in
+  Pmem.store header magic;
+  Pmem.store (header + 8) (Int64.of_int root);
+  Pmem.store (header + 16) (Int64.of_int log);
+  Pmem.store (header + 24) (Int64.of_int undo);
+  Pmem.persist header 32;
+  Pmem.persist root root_size;
+  Pmem.set_root 6 header;
+  { header; log; undo; in_tx = false; in_undo_tx = false }
+
+let open_pool () =
+  let header = Pmem.get_root 6 in
+  if Pmem.load header <> magic then failwith "Pmdk_pool.open_pool: bad magic";
+  let log = Pmem.load_int (header + 16) in
+  let undo = Pmem.load_int (header + 24) in
+  (* Lane recovery: roll back uncommitted undo transactions, then replay
+     committed redo transactions. *)
+  ignore (Pmdk_undolog.recover undo);
+  ignore (Pmdk_ulog.recover log);
+  { header; log; undo; in_tx = false; in_undo_tx = false }
+
+let root t = Pmem.load_int (t.header + 8)
+let ulog t = t.log
+
+let tx_store t addr value =
+  if not t.in_tx then invalid_arg "Pmdk_pool.tx_store: not inside a transaction";
+  Pmdk_ulog.append t.log ~offset:addr ~value
+
+let tx_alloc _t ?(align = 8) size = Pmem.alloc ~align size
+
+let tx_load t addr =
+  let pending =
+    if t.in_tx then
+      List.fold_left
+        (fun acc (off, v) -> if off = addr then Some v else acc)
+        None (Pmdk_ulog.entries t.log)
+    else None
+  in
+  match pending with Some v -> v | None -> Pmem.load addr
+
+(* ------------------------------------------------------------------ *)
+(* Undo-log transactions (pmemobj_tx_add_range style)                   *)
+
+let tx_add_range t addr size =
+  if not t.in_undo_tx then
+    invalid_arg "Pmdk_pool.tx_add_range: not inside an undo transaction";
+  Pmdk_undolog.add_range t.undo ~addr ~size
+
+let tx_direct_store t addr value =
+  if not t.in_undo_tx then
+    invalid_arg "Pmdk_pool.tx_direct_store: not inside an undo transaction";
+  Pmem.store addr value;
+  Pmem.persist addr 8
+
+let tx_undo t f =
+  if t.in_tx || t.in_undo_tx then
+    invalid_arg "Pmdk_pool.tx_undo: nested transactions are not supported";
+  t.in_undo_tx <- true;
+  match f () with
+  | () ->
+      t.in_undo_tx <- false;
+      (* All in-place stores are persisted; seal then drop the log. *)
+      Pmdk_undolog.seal t.undo;
+      Pmdk_undolog.discard t.undo
+  | exception e ->
+      t.in_undo_tx <- false;
+      (* Abort: restore the snapshots. *)
+      ignore (Pmdk_undolog.recover t.undo);
+      raise e
+
+let tx t f =
+  if t.in_tx || t.in_undo_tx then
+    invalid_arg "Pmdk_pool.tx: nested transactions are not supported";
+  t.in_tx <- true;
+  (match f () with
+  | () ->
+      t.in_tx <- false;
+      Pmdk_ulog.commit t.log;
+      Pmdk_ulog.apply t.log;
+      Pmdk_ulog.clear t.log
+  | exception e ->
+      t.in_tx <- false;
+      (* Abort: discard the uncommitted log. *)
+      Pmdk_ulog.clear t.log;
+      raise e)

@@ -1,0 +1,49 @@
+(** A libpmemobj-style persistent object pool: header, a redo log for
+    transactions, and one root object pointer. *)
+
+type t
+
+(** Create the pool (setup phase), with [root_size] bytes of root
+    object, and register it in root slot 6. *)
+val create : root_size:int -> t
+
+(** Reopen after a crash; runs log recovery (replaying or discarding the
+    redo log) before returning. *)
+val open_pool : unit -> t
+
+(** Address of the pool's root object. *)
+val root : t -> Px86.Addr.t
+
+(** The pool's redo log. *)
+val ulog : t -> Pmdk_ulog.t
+
+(** Run [f] as a failure-atomic transaction: every store inside goes
+    through {!tx_store}; commit applies and clears the log. *)
+val tx : t -> (unit -> unit) -> unit
+
+(** Transactional store: appends a redo entry instead of writing the
+    target directly.  Must run inside {!tx}. *)
+val tx_store : t -> Px86.Addr.t -> int64 -> unit
+
+(** Transactional allocation (bump allocation is naturally idempotent
+    under replay because the heap break is volatile per execution). *)
+val tx_alloc : t -> ?align:int -> int -> Px86.Addr.t
+
+(** Read-through: reads the pending redo entry if the transaction wrote
+    this address, else the target location. *)
+val tx_load : t -> Px86.Addr.t -> int64
+
+(** {1 Undo-log transactions}
+
+    The other libpmemobj flavour: snapshot ranges with {!tx_add_range}
+    before modifying them in place with {!tx_direct_store}; an exception
+    (or a crash before commit) rolls the snapshots back. *)
+
+val tx_undo : t -> (unit -> unit) -> unit
+
+(** Snapshot [[addr, addr+size)] into the undo log (persisted before the
+    caller may modify it). *)
+val tx_add_range : t -> Px86.Addr.t -> int -> unit
+
+(** In-place store + persist; the range must have been snapshotted. *)
+val tx_direct_store : t -> Px86.Addr.t -> int64 -> unit

@@ -1,0 +1,161 @@
+open Pm_runtime
+
+(* Node: key@0, value@8, color@16 (0 black, 1 red), left@24, right@32,
+   parent@40.  Pool root object: tree_root@0. *)
+
+type t = Pmdk_pool.t
+
+let node_bytes = 48
+
+let create () = Pmdk_pool.create ~root_size:8
+let open_existing () = Pmdk_pool.open_pool ()
+
+(* Transactional field accessors. *)
+let g p n off = Int64.to_int (Pmdk_pool.tx_load p (n + off))
+let s p n off v = Pmdk_pool.tx_store p (n + off) (Int64.of_int v)
+let key_ p n = g p n 0
+let color p n = if n = 0 then 0 else g p n 16
+let left p n = g p n 24
+let right p n = g p n 32
+let parent p n = g p n 40
+let set_color p n c = s p n 16 c
+let set_left p n v = s p n 24 v
+let set_right p n v = s p n 32 v
+let set_parent p n v = s p n 40 v
+
+let troot p = Int64.to_int (Pmdk_pool.tx_load p (Pmdk_pool.root p))
+let set_troot p n = Pmdk_pool.tx_store p (Pmdk_pool.root p) (Int64.of_int n)
+
+let rotate_left p x =
+  let y = right p x in
+  set_right p x (left p y);
+  if left p y <> 0 then set_parent p (left p y) x;
+  set_parent p y (parent p x);
+  if parent p x = 0 then set_troot p y
+  else if x = left p (parent p x) then set_left p (parent p x) y
+  else set_right p (parent p x) y;
+  set_left p y x;
+  set_parent p x y
+
+let rotate_right p x =
+  let y = left p x in
+  set_left p x (right p y);
+  if right p y <> 0 then set_parent p (right p y) x;
+  set_parent p y (parent p x);
+  if parent p x = 0 then set_troot p y
+  else if x = right p (parent p x) then set_right p (parent p x) y
+  else set_left p (parent p x) y;
+  set_right p y x;
+  set_parent p x y
+
+let rec fixup p z =
+  if parent p z <> 0 && color p (parent p z) = 1 then begin
+    let pa = parent p z in
+    let gp = parent p pa in
+    if pa = left p gp then begin
+      let uncle = right p gp in
+      if color p uncle = 1 then begin
+        set_color p pa 0;
+        set_color p uncle 0;
+        set_color p gp 1;
+        fixup p gp
+      end
+      else begin
+        let z = if z = right p pa then (rotate_left p pa; pa) else z in
+        let pa = parent p z in
+        let gp = parent p pa in
+        set_color p pa 0;
+        set_color p gp 1;
+        rotate_right p gp;
+        fixup p z
+      end
+    end
+    else begin
+      let uncle = left p gp in
+      if color p uncle = 1 then begin
+        set_color p pa 0;
+        set_color p uncle 0;
+        set_color p gp 1;
+        fixup p gp
+      end
+      else begin
+        let z = if z = left p pa then (rotate_right p pa; pa) else z in
+        let pa = parent p z in
+        let gp = parent p pa in
+        set_color p pa 0;
+        set_color p gp 1;
+        rotate_left p gp;
+        fixup p z
+      end
+    end
+  end
+
+let insert p ~key ~value =
+  Pmdk_pool.tx p (fun () ->
+      let z = Pmdk_pool.tx_alloc p ~align:64 node_bytes in
+      s p z 0 key;
+      s p z 8 value;
+      set_color p z 1;
+      set_left p z 0;
+      set_right p z 0;
+      set_parent p z 0;
+      let rec descend x last =
+        if x = 0 then last
+        else if key < key_ p x then descend (left p x) x
+        else descend (right p x) x
+      in
+      let y = descend (troot p) 0 in
+      set_parent p z y;
+      if y = 0 then set_troot p z
+      else if key < key_ p y then set_left p y z
+      else set_right p y z;
+      fixup p z;
+      set_color p (troot p) 0)
+
+let lookup p ~key =
+  let rec go n =
+    if n = 0 then None
+    else
+      let k = Pmem.load_int n in
+      if key = k then Some (Pmem.load_int (n + 8))
+      else if key < k then go (Pmem.load_int (n + 24))
+      else go (Pmem.load_int (n + 32))
+  in
+  go (Pmem.load_int (Pmdk_pool.root p))
+
+let check_and_scan p =
+  let root = Pmem.load_int (Pmdk_pool.root p) in
+  if root <> 0 && Pmem.load_int (root + 16) = 1 then failwith "rbtree: red root";
+  (* Every red node has black children; equal black height everywhere. *)
+  let rec go n acc =
+    if n = 0 then (acc, 1)
+    else begin
+      let k = Pmem.load_int n and v = Pmem.load_int (n + 8) in
+      let c = Pmem.load_int (n + 16) in
+      let l = Pmem.load_int (n + 24) and r = Pmem.load_int (n + 32) in
+      if c = 1 then begin
+        if l <> 0 && Pmem.load_int (l + 16) = 1 then failwith "rbtree: red-red";
+        if r <> 0 && Pmem.load_int (r + 16) = 1 then failwith "rbtree: red-red"
+      end;
+      let acc, hl = go l acc in
+      let acc = (k, v) :: acc in
+      let acc, hr = go r acc in
+      if hl <> hr then failwith "rbtree: black height";
+      (acc, hl + if c = 0 then 1 else 0)
+    end
+  in
+  let acc, _ = go root [] in
+  List.rev acc
+
+let workload = [ (8, 80); (3, 30); (11, 110); (1, 10); (6, 60); (9, 90); (13, 130); (5, 50) ]
+
+let program =
+  Pm_harness.Program.make ~name:"RBtree"
+    ~setup:(fun () -> ignore (create ()))
+    ~pre:(fun () ->
+      let p = Pmdk_pool.open_pool () in
+      List.iter (fun (k, v) -> insert p ~key:k ~value:v) workload)
+    ~post:(fun () ->
+      let p = open_existing () in
+      List.iter (fun (k, _) -> ignore (lookup p ~key:k)) workload)
+    ()

@@ -1,0 +1,19 @@
+(** PMDK's [rbtree] example: a red-black tree with parent pointers,
+    updated inside libpmemobj transactions (Table 5 "RBtree": the ulog
+    entry-pointer race). *)
+
+type t
+
+val create : unit -> t
+
+(** Reopen the pool, running log recovery. *)
+val open_existing : unit -> t
+
+val insert : t -> key:int -> value:int -> unit
+val lookup : t -> key:int -> int option
+
+(** In-order traversal; also checks the red-black invariants and raises
+    [Failure] if they are violated (used by the tests). *)
+val check_and_scan : t -> (int * int) list
+
+val program : Pm_harness.Program.t

@@ -1,0 +1,44 @@
+(** PMDK-style redo log ([ulog.c]).
+
+    Transactions append (offset, value) entries, advance the log's entry
+    pointer, checksum and persist the log, set an atomic commit flag,
+    and then apply the entries.  Recovery walks the log, validates the
+    checksum, and replays committed entries.
+
+    The log's entry pointer is updated with a {e plain} store — race #1
+    of Table 4 ("pointer to ulog_entry in ulog.c").  The entry payloads
+    and checksum are also plain, but recovery only reads them inside a
+    checksum-validation region, so races on them are classified benign
+    (paper, section 7.5). *)
+
+type t = Px86.Addr.t
+
+val capacity : int  (** maximum entries per transaction *)
+
+val label_next : string
+val label_data : string
+val label_checksum : string
+
+(** Allocate a zeroed log region. *)
+val create : unit -> t
+
+(** Append one redo entry; advances the entry pointer (plain store). *)
+val append : t -> offset:Px86.Addr.t -> value:int64 -> unit
+
+(** Entries appended so far (reads the log region). *)
+val entries : t -> (Px86.Addr.t * int64) list
+
+(** Checksum, persist, and set the commit flag. *)
+val commit : t -> unit
+
+(** Apply all entries to their target locations and persist them. *)
+val apply : t -> unit
+
+(** Clear the commit flag and entry pointer after a completed
+    transaction. *)
+val clear : t -> unit
+
+(** Post-crash recovery: walk the log; replay it when the commit flag is
+    set and the checksum validates; otherwise discard.  Returns [true]
+    when a committed log was replayed. *)
+val recover : t -> bool

@@ -1,0 +1,101 @@
+open Pm_runtime
+
+type t = Px86.Addr.t
+
+(* Layout mirrors Pmdk_ulog: next@0, checksum@8, sealed@16 (atomic),
+   gen@24 (atomic), entries@32: capacity x { addr_size@0; value@8 },
+   where addr_size packs (addr lsl 4) lor size. *)
+
+let capacity = 64
+let entry_size = 16
+let o_entries = 32
+let log_bytes = o_entries + (capacity * entry_size)
+
+let create () =
+  let log = Pmem.alloc ~align:64 log_bytes in
+  Pmem.persist log log_bytes;
+  log
+
+let used t = Pmem.load_int t
+let entry_addr t i = t + o_entries + (i * entry_size)
+
+let snapshot_word t ~addr ~size =
+  let n = used t / entry_size in
+  if n >= capacity then failwith "Pmdk_undolog: log full";
+  let old = Pmem.load ~size addr in
+  let e = entry_addr t n in
+  Pmem.store ~label:Pmdk_ulog.label_data e (Int64.of_int ((addr lsl 4) lor size));
+  Pmem.store ~label:Pmdk_ulog.label_data (e + 8) old;
+  Pmem.persist e entry_size;
+  (* The shared racy entry pointer of ulog.c. *)
+  Pmem.store_int ~label:Pmdk_ulog.label_next t ((n + 1) * entry_size)
+
+let add_range t ~addr ~size =
+  let rec go off =
+    if off < size then begin
+      let chunk = min 8 (size - off) in
+      snapshot_word t ~addr:(addr + off) ~size:chunk;
+      go (off + chunk)
+    end
+  in
+  go 0;
+  Pmem.persist t 8
+
+let entries t =
+  let n = used t / entry_size in
+  List.init n (fun i ->
+      let e = entry_addr t i in
+      let packed = Pmem.load_int e in
+      (packed lsr 4, Pmem.load (e + 8), packed land 0xF))
+
+let checksum_of t =
+  let n = used t in
+  Bench_util.checksum_range (t + o_entries) (max 8 n)
+
+let seal t =
+  Pmem.store ~label:Pmdk_ulog.label_checksum (t + 8) (checksum_of t);
+  Pmem.persist (t + 8) 8;
+  Pmem.store ~atomic:Px86.Access.Release (t + 16) 1L;
+  Pmem.persist (t + 16) 8
+
+let discard t =
+  Pmem.store ~atomic:Px86.Access.Release (t + 16) 0L;
+  Pmem.persist (t + 16) 8;
+  Pmem.store_int ~label:Pmdk_ulog.label_next t 0;
+  Pmem.persist t 8;
+  let gen = Pmem.load ~atomic:Px86.Access.Acquire (t + 24) in
+  Pmem.store ~atomic:Px86.Access.Release (t + 24) (Int64.add gen 1L);
+  Pmem.persist (t + 24) 8
+
+let rollback t =
+  (* Snapshot payloads are checksum-guarded data: read under validation
+     (races on them are benign, section 7.5), then restore. *)
+  let snaps = Pmem.validating (fun () -> entries t) in
+  List.iter
+    (fun (addr, old, size) ->
+      Pmem.store ~size addr old;
+      Pmem.persist addr size)
+    snaps
+
+let recover t =
+  ignore (Pmem.load ~atomic:Px86.Access.Acquire (t + 24)) (* lane gen *);
+  let n = used t in
+  if n = 0 then false
+  else begin
+    let sealed = Pmem.load ~atomic:Px86.Access.Acquire (t + 16) = 1L in
+    if sealed then begin
+      (* The transaction had committed: its in-place stores are durable
+         (persisted before the seal), so just drop the log. *)
+      discard t;
+      false
+    end
+    else begin
+      (* Uncommitted: restore the snapshots.  Every entry was persisted
+         before its range was modified (add_range persists eagerly), so
+         rollback is always safe; the checksum detects a torn tail. *)
+      ignore (Pmem.validating (fun () -> Pmem.load (t + 8) = checksum_of t));
+      rollback t;
+      discard t;
+      true
+    end
+  end

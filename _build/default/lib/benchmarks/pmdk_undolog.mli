@@ -1,0 +1,37 @@
+(** PMDK-style undo log: the other transaction flavour of libpmemobj.
+
+    Where the redo log ({!Pmdk_ulog}) buffers new values and applies
+    them at commit, the undo log snapshots the {e old} contents of a
+    range before the transaction modifies it in place
+    ([pmemobj_tx_add_range]).  On a crash before commit, recovery rolls
+    the snapshots back; at commit the modified ranges are persisted and
+    the log is discarded.
+
+    The log shares the redo log's layout discipline — and its racy entry
+    pointer (the same "pointer to ulog_entry in ulog.c" bug, which lives
+    in the shared ulog.c machinery of the real library). *)
+
+type t = Px86.Addr.t
+
+val capacity : int
+
+val create : unit -> t
+
+(** [add_range t ~addr ~size] snapshots [size] bytes (multiple entries
+    for ranges wider than 8 bytes) before the caller overwrites them. *)
+val add_range : t -> addr:Px86.Addr.t -> size:int -> unit
+
+(** Entries snapshotted so far: (address, old value, size). *)
+val entries : t -> (Px86.Addr.t * int64 * int) list
+
+(** Seal the log (checksum + commit flag), making rollback impossible:
+    called at the start of commit processing. *)
+val seal : t -> unit
+
+(** Discard the log after the transaction's stores are persisted. *)
+val discard : t -> unit
+
+(** Post-crash recovery: an unsealed non-empty log is rolled back
+    (restoring the snapshots); a sealed one is simply discarded.
+    Returns [true] when a rollback happened. *)
+val recover : t -> bool

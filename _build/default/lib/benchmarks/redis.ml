@@ -1,0 +1,126 @@
+open Pm_runtime
+
+(* PM layout.
+   Pool root object (the persistent key directory):
+     nslots x { key@0; blob_ptr@8 } pairs.
+   Value blob: len@0, checksum@8, bytes@16 (up to blob_cap). *)
+
+let nslots = 8
+let blob_cap = 32
+let blob_bytes = 16 + blob_cap
+
+type t = { pool : Pmdk_pool.t; dict : (int, Px86.Addr.t) Hashtbl.t }
+
+let slot_addr pool i = Pmdk_pool.root pool + (16 * i)
+
+let start () =
+  let pool = Pmdk_pool.create ~root_size:(16 * nslots) in
+  { pool; dict = Hashtbl.create 16 }
+
+(* Rebuild the volatile dict from the persistent directory, validating
+   each blob — Redis reconstructs its DRAM keyspace on restart. *)
+let load_dict pool =
+  let dict = Hashtbl.create 16 in
+  for i = 0 to nslots - 1 do
+    let s = slot_addr pool i in
+    let key = Pmem.load_int s in
+    let blob = Pmem.load_int (s + 8) in
+    if key <> 0 && blob <> 0 then Hashtbl.replace dict key blob
+  done;
+  dict
+
+let open_existing () =
+  let pool = Pmdk_pool.open_pool () in
+  { pool; dict = load_dict pool }
+
+let free_slot t =
+  let rec go i =
+    if i >= nslots then failwith "redis: directory full"
+    else if Pmem.load_int (slot_addr t.pool i) = 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let existing_slot t key =
+  let rec go i =
+    if i >= nslots then None
+    else if Pmem.load_int (slot_addr t.pool i) = key then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* SET: the blob is written and persisted out of place first (the bulk
+   of the crash windows), then a short transaction links it. *)
+let set t ~key ~value =
+  assert (key <> 0 && String.length value <= blob_cap);
+  let blob = Pmem.alloc ~align:64 blob_bytes in
+  Pmem.store blob (Int64.of_int (String.length value));
+  Pmem.store_bytes (blob + 16) value;
+  Pmem.store (blob + 8) (Bench_util.checksum_string value);
+  Pmem.persist blob blob_bytes;
+  let i = match existing_slot t key with Some i -> i | None -> free_slot t in
+  let s = slot_addr t.pool i in
+  Pmdk_pool.tx t.pool (fun () ->
+      Pmdk_pool.tx_store t.pool s (Int64.of_int key);
+      Pmdk_pool.tx_store t.pool (s + 8) (Int64.of_int blob));
+  Hashtbl.replace t.dict key blob
+
+let read_blob blob =
+  Pmem.validating (fun () ->
+      let n = Pmem.load_int blob in
+      if n < 0 || n > blob_cap then None
+      else
+        let data = Pmem.load_bytes (blob + 16) n in
+        if Pmem.load (blob + 8) = Bench_util.checksum_string data then Some data
+        else None)
+
+let get t ~key =
+  match Hashtbl.find_opt t.dict key with
+  | Some blob -> read_blob blob
+  | None -> None
+
+(* DEL: clear the directory slot in a transaction. *)
+let del t ~key =
+  match existing_slot t key with
+  | None -> false
+  | Some i ->
+      let s = slot_addr t.pool i in
+      Pmdk_pool.tx t.pool (fun () ->
+          Pmdk_pool.tx_store t.pool s 0L;
+          Pmdk_pool.tx_store t.pool (s + 8) 0L);
+      Hashtbl.remove t.dict key;
+      true
+
+(* INCR: read-validate-modify-write of a numeric value. *)
+let incr t ~key =
+  let current =
+    match get t ~key with
+    | Some v -> (try int_of_string v with Failure _ -> 0)
+    | None -> 0
+  in
+  let next = current + 1 in
+  set t ~key ~value:(string_of_int next);
+  next
+
+let recover_all t =
+  Hashtbl.fold
+    (fun _ blob acc -> match read_blob blob with Some _ -> acc + 1 | None -> acc)
+    t.dict 0
+
+let workload =
+  [ (11, "one"); (22, "twenty-two"); (33, "thirty-three"); (44, "forty-four") ]
+
+let program =
+  Pm_harness.Program.make ~name:"Redis"
+    ~setup:(fun () -> ignore (start ()))
+    ~pre:(fun () ->
+      let t = open_existing () in
+      List.iter (fun (k, v) -> set t ~key:k ~value:v) workload;
+      List.iter (fun (k, _) -> ignore (get t ~key:k)) workload;
+      ignore (del t ~key:22);
+      ignore (incr t ~key:99);
+      ignore (incr t ~key:99))
+    ~post:(fun () ->
+      let t = open_existing () in
+      ignore (recover_all t))
+    ()

@@ -1,0 +1,33 @@
+(** Redis ported to persistent memory (the Intel fork): a volatile hash
+    dictionary whose values live in PM, updated through PMDK's
+    transaction API (libpmemobj), with checksummed value blobs.
+
+    In the paper's single random execution Yashme found no {e new} races
+    in Redis (Table 5), because its crash windows are dominated by
+    out-of-transaction payload persists and its reads are checksum-
+    validated; the PMDK library races "could be revealed by Redis as
+    well" (section 7.2) and do show up under systematic crash
+    injection. *)
+
+type t
+
+val start : unit -> t
+val open_existing : unit -> t
+
+(** The client's SET: persist the value blob out of place, then link it
+    into the persistent key directory inside a transaction. *)
+val set : t -> key:int -> value:string -> unit
+
+(** The client's GET: checksum-validated read. *)
+val get : t -> key:int -> string option
+
+(** DEL: unlink a key inside a transaction; false when absent. *)
+val del : t -> key:int -> bool
+
+(** INCR: numeric increment (read-modify-write); returns the new value. *)
+val incr : t -> key:int -> int
+
+(** Post-restart audit of the whole keyspace. *)
+val recover_all : t -> int  (** number of valid entries *)
+
+val program : Pm_harness.Program.t

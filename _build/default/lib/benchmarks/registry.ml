@@ -1,0 +1,35 @@
+let indexes =
+  [
+    Cceh.program;
+    Fast_fair.program;
+    P_art.program;
+    P_bwtree.program;
+    P_clht.program;
+    P_masstree.program;
+  ]
+
+let frameworks =
+  [
+    Pmdk_btree.program;
+    Pmdk_ctree.program;
+    Pmdk_rbtree.program;
+    Pmdk_hashmap.program_atomic;
+    Pmdk_hashmap.program_tx;
+    Redis.program;
+    Memcached.program;
+  ]
+
+let all = indexes @ frameworks
+
+let find name =
+  let target = String.lowercase_ascii name in
+  match
+    List.find_opt
+      (fun (p : Pm_harness.Program.t) ->
+        String.lowercase_ascii p.Pm_harness.Program.name = target)
+      all
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+let names () = List.map (fun (p : Pm_harness.Program.t) -> p.Pm_harness.Program.name) all

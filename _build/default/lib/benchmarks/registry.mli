@@ -1,0 +1,17 @@
+(** Name-indexed registry of all crash-test programs (the paper's
+    benchmark suite). *)
+
+(** All programs, in the row order of Table 5. *)
+val all : Pm_harness.Program.t list
+
+(** The PM index benchmarks evaluated with model checking (Table 3). *)
+val indexes : Pm_harness.Program.t list
+
+(** The frameworks evaluated in random mode (Table 4): PMDK example
+    structures, Redis, Memcached. *)
+val frameworks : Pm_harness.Program.t list
+
+(** Find by (case-insensitive) name; raises [Not_found]. *)
+val find : string -> Pm_harness.Program.t
+
+val names : unit -> string list

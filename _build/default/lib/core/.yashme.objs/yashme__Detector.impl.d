@@ -1,0 +1,1 @@
+lib/core/detector.ml: Exec_record Hashtbl List Px86 Race Yashme_util

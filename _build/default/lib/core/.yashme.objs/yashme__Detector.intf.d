@@ -1,0 +1,1 @@
+lib/core/detector.mli: Exec_record Px86 Race

@@ -1,0 +1,1 @@
+lib/core/exec_record.ml: Hashtbl Px86 Yashme_util

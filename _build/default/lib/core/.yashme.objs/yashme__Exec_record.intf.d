@@ -1,0 +1,1 @@
+lib/core/exec_record.mli: Px86 Yashme_util

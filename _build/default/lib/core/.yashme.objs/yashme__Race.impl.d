@@ -1,0 +1,1 @@
+lib/core/race.ml: Format Px86

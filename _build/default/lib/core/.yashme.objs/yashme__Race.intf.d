@@ -1,0 +1,1 @@
+lib/core/race.mli: Format Px86

@@ -1,0 +1,166 @@
+module Clockvec = Yashme_util.Clockvec
+
+type mode = Prefix | Baseline
+
+type t = {
+  dmode : mode;
+  deadr : bool;
+  dcoherence : bool;
+  records : (int, Exec_record.t) Hashtbl.t;
+  mutable current : Exec_record.t option;
+  mutable reported : Race.t list;  (* newest first *)
+}
+
+let create ?(mode = Prefix) ?(eadr = false) ?(coherence = true) () =
+  { dmode = mode; deadr = eadr; dcoherence = coherence;
+    records = Hashtbl.create 4; current = None; reported = [] }
+
+let mode t = t.dmode
+let eadr t = t.deadr
+let races t = List.rev t.reported
+
+let begin_exec t ~id =
+  let r = Exec_record.create ~id in
+  Hashtbl.replace t.records id r;
+  t.current <- Some r;
+  r
+
+let record t ~id = Hashtbl.find_opt t.records id
+
+(* Figure 8, Evict_SB(clflush) / Evict_FB: record a flush for the latest
+   store to every address on the flushed cache line, provided the store
+   happens-before the flush and no happens-before-earlier flush is
+   already recorded. *)
+let note_flush r ~line ~flush_cv ~entry =
+  List.iter
+    (fun addr ->
+      match Exec_record.store_at r addr with
+      | None -> ()
+      | Some s ->
+          let store_hb_flush =
+            s.Px86.Event.lclk <= Clockvec.get flush_cv s.Px86.Event.tid
+          in
+          let already =
+            List.exists
+              (fun (e : Exec_record.flush_entry) ->
+                e.Exec_record.fe_lclk <= Clockvec.get flush_cv e.Exec_record.fe_tid)
+              (Exec_record.flushes_of r s.Px86.Event.seq)
+          in
+          if store_hb_flush && not already then
+            Exec_record.add_flush r ~seq:s.Px86.Event.seq entry)
+    (Exec_record.line_addrs r line)
+
+let observer t =
+  let with_current f = match t.current with Some r -> f r | None -> () in
+  {
+    Px86.Observer.on_store_commit =
+      (fun s -> with_current (fun r -> Exec_record.set_store r s));
+    on_clflush_commit =
+      (fun f ->
+        with_current (fun r ->
+            note_flush r
+              ~line:(Px86.Addr.line f.Px86.Event.faddr)
+              ~flush_cv:f.Px86.Event.fcv
+              ~entry:
+                {
+                  Exec_record.fe_tid = f.Px86.Event.ftid;
+                  fe_lclk = f.Px86.Event.flclk;
+                }));
+    on_clwb_commit = (fun _ -> ());
+    on_flush_applied =
+      (fun f ~fence ->
+        with_current (fun r ->
+            note_flush r
+              ~line:(Px86.Addr.line f.Px86.Event.faddr)
+              ~flush_cv:f.Px86.Event.fcv
+              ~entry:
+                {
+                  Exec_record.fe_tid = fence.Px86.Event.ktid;
+                  fe_lclk = fence.Px86.Event.klclk;
+                }));
+    on_nt_persisted =
+      (fun st ~fence ->
+        with_current (fun r ->
+            (* A fenced movnt store is durable on its own: record the
+               fence as its flush (no other store on the line is
+               affected). *)
+            Exec_record.add_flush r ~seq:st.Px86.Event.seq
+              {
+                Exec_record.fe_tid = fence.Px86.Event.ktid;
+                fe_lclk = fence.Px86.Event.klclk;
+              }));
+    on_fence = (fun _ -> ());
+  }
+
+(* Executions never registered with the detector (e.g. a clean setup
+   phase that shut down with everything persisted) are trusted: loads
+   reading their stores are not race-checked. *)
+let record_of t exec = Hashtbl.find_opt t.records exec
+
+let load_atomic t ~exec ~store =
+  match record_of t exec with
+  | None -> ()
+  | Some r ->
+      let line = Px86.Addr.line store.Px86.Event.addr in
+      Exec_record.join_lastflush r ~line store.Px86.Event.cv;
+      Exec_record.join_cvpre r store.Px86.Event.cv
+
+let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~commit
+    ~benign =
+  match record_of t exec with
+  | None -> None
+  | Some r ->
+  let result =
+    if Px86.Access.is_atomic store.Px86.Event.access then None
+    else begin
+      let line = Px86.Addr.line store.Px86.Event.addr in
+      let lastflush = Exec_record.lastflush r ~line in
+      let covered_by_coherence =
+        t.dcoherence
+        && Clockvec.get store.Px86.Event.cv store.Px86.Event.tid
+           <= Clockvec.get lastflush store.Px86.Event.tid
+      in
+      let flush_counts (e : Exec_record.flush_entry) =
+        match t.dmode with
+        | Baseline -> true
+        | Prefix ->
+            (* Only flushes inside the smallest consistent prefix are
+               mandatory; any shorter prefix omits the others (5.1). *)
+            e.Exec_record.fe_lclk
+            <= Clockvec.get (Exec_record.cvpre r) e.Exec_record.fe_tid
+      in
+      let persisted =
+        if t.deadr then
+          (* eADR (section 7.5): the cache is in the persistence domain,
+             so the store is durable once its cache commit is forced
+             into every consistent prefix.  In baseline mode a committed
+             store is durable outright. *)
+          (match t.dmode with
+          | Baseline -> true
+          | Prefix ->
+              store.Px86.Event.lclk
+              <= Clockvec.get (Exec_record.cvpre r) store.Px86.Event.tid)
+        else
+          List.exists flush_counts (Exec_record.flushes_of r store.Px86.Event.seq)
+      in
+      if covered_by_coherence || persisted then None
+      else begin
+        let race =
+          {
+            Race.store;
+            store_exec = exec;
+            load_addr;
+            load_size;
+            load_tid;
+            load_exec;
+            committed = commit;
+            benign;
+          }
+        in
+        t.reported <- race :: t.reported;
+        Some race
+      end
+    end
+  in
+  if commit then Exec_record.join_cvpre r store.Px86.Event.cv;
+  result

@@ -1,0 +1,26 @@
+type t = {
+  store : Px86.Event.store;
+  store_exec : int;
+  load_addr : Px86.Addr.t;
+  load_size : int;
+  load_tid : int;
+  load_exec : int;
+  committed : bool;
+  benign : bool;
+}
+
+let label t =
+  match t.store.Px86.Event.label with Some l -> l | None -> "<unlabelled>"
+
+let dedup_key t = label t
+
+let pp ppf t =
+  Format.fprintf ppf
+    "persistency race on %s: non-atomic %a races with crash (exec %d); observed by \
+     load of %a..+%d in exec %d%s%s"
+    (label t) Px86.Event.pp_store t.store t.store_exec Px86.Addr.pp t.load_addr
+    t.load_size t.load_exec
+    (if t.committed then "" else " [candidate]")
+    (if t.benign then " [benign: checksum-validated]" else "")
+
+let to_string t = Format.asprintf "%a" pp t

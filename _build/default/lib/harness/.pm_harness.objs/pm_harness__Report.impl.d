@@ -1,0 +1,1 @@
+lib/harness/report.ml: Format Hashtbl List Yashme

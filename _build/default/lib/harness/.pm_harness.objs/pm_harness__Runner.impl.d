@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Hashtbl List Pm_runtime Program Px86 Report Sys Yashme Yashme_util

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Pm_runtime Program Px86 Report Yashme

@@ -1,0 +1,1 @@
+lib/harness/witness.ml: Buffer Format List Printf Px86 Yashme Yashme_util

@@ -1,0 +1,1 @@
+lib/harness/witness.mli: Px86 Yashme

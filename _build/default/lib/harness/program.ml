@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  setup : (unit -> unit) option;
+  pre : unit -> unit;
+  post : unit -> unit;
+}
+
+let make ?setup ~name ~pre ~post () = { name; setup; pre; post }

@@ -1,0 +1,13 @@
+(** A crash-testable PM program: workload plus recovery. *)
+
+type t = {
+  name : string;
+  setup : (unit -> unit) option;
+      (** optional pre-population phase, always run to clean completion
+          before the crashy phase (e.g. creating the pool) *)
+  pre : unit -> unit;  (** the pre-crash workload *)
+  post : unit -> unit;  (** the post-crash recovery / reader *)
+}
+
+val make : ?setup:(unit -> unit) -> name:string -> pre:(unit -> unit) ->
+  post:(unit -> unit) -> unit -> t

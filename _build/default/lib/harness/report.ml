@@ -1,0 +1,58 @@
+type finding = {
+  label : string;
+  benign : bool;
+  count : int;
+  example : Yashme.Race.t;
+}
+
+type t = {
+  program : string;
+  executions : int;
+  raw_races : int;
+  findings : finding list;
+}
+
+let dedup ~program ~executions races =
+  let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Yashme.Race.t) ->
+      let key = Yashme.Race.dedup_key r in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+          Hashtbl.add tbl key
+            { label = key; benign = r.Yashme.Race.benign; count = 1; example = r }
+      | Some f ->
+          Hashtbl.replace tbl key
+            {
+              f with
+              count = f.count + 1;
+              (* a finding is benign only if every observation was *)
+              benign = f.benign && r.Yashme.Race.benign;
+            })
+    races;
+  let findings =
+    Hashtbl.fold (fun _ f acc -> f :: acc) tbl []
+    |> List.sort (fun a b -> compare a.label b.label)
+  in
+  { program; executions; raw_races = List.length races; findings }
+
+let real t = List.filter (fun f -> not f.benign) t.findings
+let benign t = List.filter (fun f -> f.benign) t.findings
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %d distinct persistency race(s) (%d raw, %d benign) in %d execution(s)"
+    t.program
+    (List.length (real t))
+    t.raw_races
+    (List.length (benign t))
+    t.executions;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,  %s %s (%d report%s)"
+        (if f.benign then "[benign]" else "[race]  ")
+        f.label f.count
+        (if f.count = 1 then "" else "s"))
+    t.findings;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

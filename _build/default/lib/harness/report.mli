@@ -1,0 +1,31 @@
+(** Aggregated race findings for one program.
+
+    Raw race reports are deduplicated by source-level field label — the
+    granularity of the paper's Tables 3 and 4 (one row per field).
+    Benign (checksum-validated) findings are kept but flagged, matching
+    section 7.5. *)
+
+type finding = {
+  label : string;
+  benign : bool;
+  count : int;  (** raw reports collapsed into this finding *)
+  example : Yashme.Race.t;
+}
+
+type t = {
+  program : string;
+  executions : int;  (** pre/post execution pairs explored *)
+  raw_races : int;
+  findings : finding list;  (** sorted by label *)
+}
+
+(** Deduplicate raw races by field label.  A label is benign only if
+    every report for it is benign. *)
+val dedup : program:string -> executions:int -> Yashme.Race.t list -> t
+
+(** Real (non-benign) findings. *)
+val real : t -> finding list
+
+val benign : t -> finding list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,257 @@
+module Executor = Pm_runtime.Executor
+module Rng = Yashme_util.Rng
+
+type options = {
+  mode : Yashme.Detector.mode;
+  eadr : bool;
+  coherence : bool;
+  check_candidates : bool;
+  sched : Executor.sched_policy;
+  sb_policy : Px86.Machine.sb_policy;
+  cut : Px86.Machine.cut_strategy;
+  seed : int;
+}
+
+let default_options =
+  {
+    mode = Yashme.Detector.Prefix;
+    eadr = false;
+    coherence = true;
+    check_candidates = true;
+    sched = Executor.Round_robin;
+    sb_policy = Px86.Machine.Eager;
+    cut = Px86.Machine.Cut_all;
+    seed = 42;
+  }
+
+(* Execution ids within one failure scenario: the setup phase is not
+   registered with the detector (its data is trusted after a clean
+   shutdown); pre-crash is 1, recovery is 2. *)
+let setup_exec = 0
+let pre_exec = 1
+let post_exec = 2
+
+let run_setup opts (p : Program.t) =
+  match p.Program.setup with
+  | None -> None
+  | Some setup ->
+      let r =
+        Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.sb_policy
+          ~seed:opts.seed ~exec_id:setup_exec setup
+      in
+      Some r.Executor.state
+
+let count_flush_points ?(options = default_options) (p : Program.t) =
+  let inherited = run_setup options p in
+  let r =
+    Executor.run ?inherited ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
+      ~sched:options.sched ~seed:options.seed ~exec_id:pre_exec p.Program.pre
+  in
+  r.Executor.flush_points
+
+let run_once ?(options = default_options) ~plan (p : Program.t) =
+  let inherited = run_setup options p in
+  let detector =
+    Yashme.Detector.create ~mode:options.mode ~eadr:options.eadr
+      ~coherence:options.coherence ()
+  in
+  let pre_result =
+    Executor.run ~detector ?inherited ~plan ~sb_policy:options.sb_policy
+      ~cut:options.cut ~sched:options.sched ~seed:options.seed
+      ~check_candidates:options.check_candidates ~exec_id:pre_exec p.Program.pre
+  in
+  let crash_happened =
+    match pre_result.Executor.outcome with
+    | Executor.Crashed -> true
+    | Executor.Completed -> (
+        (* [Crash_at_end] completes and then crashes; targeted plans that
+           never fired leave a cleanly shut-down state with no crash. *)
+        match plan with
+        | Executor.Crash_at_end -> true
+        | Executor.Run_to_end | Executor.Crash_before_op _
+        | Executor.Crash_before_flush _ -> false)
+  in
+  let post_result =
+    if crash_happened then
+      Some
+        (Executor.run ~detector ~inherited:pre_result.Executor.state
+           ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
+           ~sched:options.sched ~seed:(options.seed + 1)
+           ~check_candidates:options.check_candidates ~exec_id:post_exec
+           p.Program.post)
+    else None
+  in
+  (detector, pre_result, post_result)
+
+let run_once_traced ?(options = default_options) ~plan (p : Program.t) =
+  let inherited = run_setup options p in
+  let detector =
+    Yashme.Detector.create ~mode:options.mode ~eadr:options.eadr
+      ~coherence:options.coherence ()
+  in
+  let trace, trace_observer = Px86.Trace.recorder () in
+  let pre_result =
+    Executor.run ~detector ?inherited ~plan ~sb_policy:options.sb_policy
+      ~cut:options.cut ~sched:options.sched ~seed:options.seed
+      ~check_candidates:options.check_candidates ~observer:trace_observer
+      ~exec_id:pre_exec p.Program.pre
+  in
+  (match pre_result.Executor.outcome with
+  | Executor.Crashed ->
+      ignore
+        (Executor.run ~detector ~inherited:pre_result.Executor.state
+           ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
+           ~sched:options.sched ~seed:(options.seed + 1)
+           ~check_candidates:options.check_candidates ~exec_id:post_exec
+           p.Program.post)
+  | Executor.Completed ->
+      if plan = Executor.Crash_at_end then
+        ignore
+          (Executor.run ~detector ~inherited:pre_result.Executor.state
+             ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
+             ~sched:options.sched ~seed:(options.seed + 1)
+             ~check_candidates:options.check_candidates ~exec_id:post_exec
+             p.Program.post));
+  (detector, trace)
+
+let model_check ?(options = default_options) (p : Program.t) =
+  let points = count_flush_points ~options p in
+  let plans =
+    List.init points (fun n -> Executor.Crash_before_flush n)
+    @ [ Executor.Crash_at_end ]
+  in
+  let races =
+    List.concat_map
+      (fun plan ->
+        let detector, _, _ = run_once ~options ~plan p in
+        Yashme.Detector.races detector)
+      plans
+  in
+  Report.dedup ~program:p.Program.name ~executions:(List.length plans) races
+
+(* Model-check the recovery procedure itself: for each pre-crash point,
+   crash the recovery at each of ITS flush points and run a second
+   recovery — the two-crash failure scenarios of section 6 ("a
+   persistency race in the recovery procedure would require two
+   crashes"). *)
+let model_check_recovery ?(options = default_options) (p : Program.t) =
+  let pre_points = count_flush_points ~options p in
+  let pre_plans =
+    List.init pre_points (fun n -> Executor.Crash_before_flush n)
+    @ [ Executor.Crash_at_end ]
+  in
+  let races = ref [] in
+  let executions = ref 0 in
+  List.iter
+    (fun pre_plan ->
+      (* Count the recovery's own flush points for this pre-crash state. *)
+      let inherited = run_setup options p in
+      let probe_detector = Yashme.Detector.create ~mode:options.mode () in
+      let pre_result =
+        Executor.run ~detector:probe_detector ?inherited ~plan:pre_plan
+          ~sb_policy:options.sb_policy ~cut:options.cut ~sched:options.sched
+          ~seed:options.seed ~exec_id:pre_exec p.Program.pre
+      in
+      let crashed =
+        pre_result.Executor.outcome = Executor.Crashed || pre_plan = Executor.Crash_at_end
+      in
+      if crashed then begin
+        let post_probe =
+          Executor.run ~detector:probe_detector ~inherited:pre_result.Executor.state
+            ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy ~sched:options.sched
+            ~seed:(options.seed + 1) ~exec_id:post_exec p.Program.post
+        in
+        let post_points = post_probe.Executor.flush_points in
+        (* Now re-run with a crash inside the recovery at each point,
+           followed by a second recovery. *)
+        List.iter
+          (fun post_n ->
+            let inherited = run_setup options p in
+            let detector =
+              Yashme.Detector.create ~mode:options.mode ~eadr:options.eadr
+                ~coherence:options.coherence ()
+            in
+            let r1 =
+              Executor.run ~detector ?inherited ~plan:pre_plan
+                ~sb_policy:options.sb_policy ~cut:options.cut ~sched:options.sched
+                ~seed:options.seed ~exec_id:pre_exec p.Program.pre
+            in
+            let r2 =
+              Executor.run ~detector ~inherited:r1.Executor.state
+                ~plan:(Executor.Crash_before_flush post_n) ~sb_policy:options.sb_policy
+                ~cut:options.cut ~sched:options.sched ~seed:(options.seed + 1)
+                ~exec_id:post_exec p.Program.post
+            in
+            if r2.Executor.outcome = Executor.Crashed then begin
+              let _ =
+                Executor.run ~detector ~inherited:r2.Executor.state
+                  ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
+                  ~sched:options.sched ~seed:(options.seed + 2) ~exec_id:(post_exec + 1)
+                  p.Program.post
+              in
+              incr executions;
+              races := Yashme.Detector.races detector @ !races
+            end)
+          (List.init post_points (fun n -> n))
+      end)
+    pre_plans;
+  Report.dedup ~program:(p.Program.name ^ "+recovery") ~executions:!executions !races
+
+let random_plan rng points =
+  let n = Rng.int rng (points + 1) in
+  if n = points then Executor.Crash_at_end else Executor.Crash_before_flush n
+
+let program_seed (p : Program.t) seed =
+  (* Decorrelate programs sharing a numeric seed. *)
+  Hashtbl.hash (p.Program.name, seed)
+
+let random_mode ?(options = default_options) ~execs (p : Program.t) =
+  let options = { options with seed = program_seed p options.seed } in
+  let rng = Rng.create options.seed in
+  let points = max 1 (count_flush_points ~options p) in
+  let races =
+    List.concat_map
+      (fun i ->
+        let seed = options.seed + (7919 * (i + 1)) in
+        let options = { options with seed; sched = Executor.Random_sched } in
+        let plan = random_plan rng points in
+        let detector, _, _ = run_once ~options ~plan p in
+        Yashme.Detector.races detector)
+      (List.init execs (fun i -> i))
+  in
+  Report.dedup ~program:p.Program.name ~executions:execs races
+
+let single_random ?(options = default_options) (p : Program.t) =
+  random_mode ~options ~execs:1 p
+
+let time_run f =
+  let t0 = Sys.time () in
+  let _ = f () in
+  Sys.time () -. t0
+
+let time_with_detector ?(options = default_options) (p : Program.t) =
+  time_run (fun () -> single_random ~options p)
+
+let time_without_detector ?(options = default_options) (p : Program.t) =
+  time_run (fun () ->
+      let options = { options with seed = program_seed p options.seed } in
+      let rng = Rng.create options.seed in
+      let points = max 1 (count_flush_points ~options p) in
+      let plan = random_plan rng points in
+      let inherited = run_setup options p in
+      let options = { options with sched = Executor.Random_sched } in
+      let pre_result =
+        Executor.run ?inherited ~plan ~sb_policy:options.sb_policy ~cut:options.cut
+          ~sched:options.sched
+          ~seed:(options.seed + 7919)
+          ~exec_id:pre_exec p.Program.pre
+      in
+      match pre_result.Executor.outcome with
+      | Executor.Crashed ->
+          ignore
+            (Executor.run ~inherited:pre_result.Executor.state
+               ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
+               ~sched:options.sched
+               ~seed:(options.seed + 7920)
+               ~exec_id:post_exec p.Program.post)
+      | Executor.Completed -> ())

@@ -1,0 +1,68 @@
+(** The two operating modes of Yashme (paper, section 4):
+
+    - {!model_check} systematically injects a crash before every flush
+      and fence operation of the pre-crash workload (plus one crash at
+      program end) and runs recovery after each — suitable for the PM
+      index benchmarks;
+    - {!random_mode} runs [execs] randomized executions (random thread
+      schedules and a crash before a random fence) — used for the larger
+      PMDK / Memcached / Redis programs.
+
+    Both run every post-crash load through the detector, checking all
+    candidate stores. *)
+
+type options = {
+  mode : Yashme.Detector.mode;
+  eadr : bool;  (** eADR persistency semantics (paper, section 7.5) *)
+  coherence : bool;  (** condition (2) of Definition 5.1; ablation *)
+  check_candidates : bool;  (** check all candidate stores; ablation *)
+  sched : Pm_runtime.Executor.sched_policy;
+  sb_policy : Px86.Machine.sb_policy;
+  cut : Px86.Machine.cut_strategy;
+  seed : int;
+}
+
+val default_options : options
+
+(** Count the flush/fence crash points of the program's pre-crash phase
+    (dry run, no detector). *)
+val count_flush_points : ?options:options -> Program.t -> int
+
+(** One pre-crash execution under [plan], then recovery.  Returns the
+    detector (holding raw races) and the executor results. *)
+val run_once :
+  ?options:options ->
+  plan:Pm_runtime.Executor.plan ->
+  Program.t ->
+  Yashme.Detector.t * Pm_runtime.Executor.result * Pm_runtime.Executor.result option
+
+(** Like {!run_once}, additionally recording the pre-crash execution's
+    commit trace, for rendering race witnesses with {!Witness.explain}. *)
+val run_once_traced :
+  ?options:options ->
+  plan:Pm_runtime.Executor.plan ->
+  Program.t ->
+  Yashme.Detector.t * Px86.Trace.t
+
+val model_check : ?options:options -> Program.t -> Report.t
+
+(** Two-crash failure scenarios (section 6's execution stack): for every
+    pre-crash point, also crash the {e recovery} before each of its own
+    flush points and run a second recovery — the only way to find
+    persistency races in recovery code. *)
+val model_check_recovery : ?options:options -> Program.t -> Report.t
+
+val random_mode : ?options:options -> execs:int -> Program.t -> Report.t
+
+(** [single_random ~seed] is one random-mode execution pair, the
+    experiment Table 5 reports ("a single randomly generated
+    execution"). *)
+val single_random : ?options:options -> Program.t -> Report.t
+
+(** Run one random execution pair without any detector, measuring the
+    bare infrastructure (the paper's "Jaaru time" column).  Returns
+    wall-clock seconds. *)
+val time_without_detector : ?options:options -> Program.t -> float
+
+(** Wall-clock seconds for [single_random] (the "Yashme time" column). *)
+val time_with_detector : ?options:options -> Program.t -> float

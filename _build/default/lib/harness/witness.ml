@@ -1,0 +1,27 @@
+let explain ~trace ~detector ~race:(r : Yashme.Race.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Yashme.Race.to_string r);
+  Buffer.add_string buf "\n  witness (E+ combined with E'):\n";
+  (match Yashme.Detector.record detector ~id:r.Yashme.Race.store_exec with
+  | None -> Buffer.add_string buf "    (pre-crash execution not recorded)\n"
+  | Some record ->
+      let cvpre = Yashme.Exec_record.cvpre record in
+      let prefix = Px86.Trace.prefix trace ~cvpre in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    consistent prefix CVpre = %s (%d of %d committed events)\n"
+           (Format.asprintf "%a" Yashme_util.Clockvec.pp cvpre)
+           (List.length prefix)
+           (List.length (Px86.Trace.entries trace)));
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "    | %s\n" (Format.asprintf "%a" Px86.Trace.pp_entry e)))
+        prefix;
+      Buffer.add_string buf
+        (Printf.sprintf "    the racing store itself: %s\n"
+           (Format.asprintf "%a" Px86.Event.pp_store r.Yashme.Race.store));
+      Buffer.add_string buf
+        "    every pre-crash prefix extending E+ without flushing this store\n\
+        \    crashes with the store only partially persistent.\n");
+  Buffer.contents buf

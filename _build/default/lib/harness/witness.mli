@@ -1,0 +1,10 @@
+(** Race witnesses: the paper reports each persistency race together
+    with "the pre-crash execution prefix E+ combined with the post-crash
+    execution E'" (section 5.1).  This module renders that witness from
+    a recorded {!Px86.Trace.t} of the racing execution. *)
+
+(** [explain ~trace ~detector race] renders the racing store, the
+    smallest consistent pre-crash prefix observed so far (from the
+    execution record's [CVpre]), and the events inside it. *)
+val explain :
+  trace:Px86.Trace.t -> detector:Yashme.Detector.t -> race:Yashme.Race.t -> string

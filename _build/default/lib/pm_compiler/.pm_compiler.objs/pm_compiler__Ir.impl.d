@@ -1,0 +1,1 @@
+lib/pm_compiler/ir.ml: Format List

@@ -1,0 +1,1 @@
+lib/pm_compiler/passes.ml: Int64 Ir List String Yashme_util

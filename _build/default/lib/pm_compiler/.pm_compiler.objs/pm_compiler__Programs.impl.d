@@ -1,0 +1,1 @@
+lib/pm_compiler/programs.ml: Ir List Passes Yashme_util

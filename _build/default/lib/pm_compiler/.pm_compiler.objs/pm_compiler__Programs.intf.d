@@ -1,0 +1,1 @@
+lib/pm_compiler/programs.mli: Ir

@@ -1,0 +1,1 @@
+lib/pm_compiler/tearing.ml: Int64 Pm_runtime Pmem

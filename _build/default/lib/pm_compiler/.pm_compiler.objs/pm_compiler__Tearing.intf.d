@@ -1,0 +1,1 @@
+lib/pm_compiler/tearing.mli: Px86

@@ -1,0 +1,45 @@
+type operand = Const of int64 | Tmp of int
+
+type inst =
+  | Store of { addr : int; size : int; value : operand; volatile : bool }
+  | Load of { dst : int; addr : int; size : int }
+  | Memset of { addr : int; byte : int; len : int }
+  | Memcpy of { dst : int; src : int; len : int }
+  | Memmove of { dst : int; src : int; len : int }
+  | Flush of int
+  | Fence
+  | Other
+
+type program = { name : string; insts : inst list }
+
+let mem_ops p =
+  List.length
+    (List.filter
+       (function Memset _ | Memcpy _ | Memmove _ -> true | _ -> false)
+       p.insts)
+
+let plain_stores p =
+  List.length
+    (List.filter (function Store { volatile = false; _ } -> true | _ -> false) p.insts)
+
+let pp_operand ppf = function
+  | Const v -> Format.fprintf ppf "%Ld" v
+  | Tmp i -> Format.fprintf ppf "t%d" i
+
+let pp_inst ppf = function
+  | Store { addr; size; value; volatile } ->
+      Format.fprintf ppf "store%s [%d..+%d] <- %a"
+        (if volatile then ".volatile" else "")
+        addr size pp_operand value
+  | Load { dst; addr; size } -> Format.fprintf ppf "t%d <- load [%d..+%d]" dst addr size
+  | Memset { addr; byte; len } -> Format.fprintf ppf "memset([%d], %d, %d)" addr byte len
+  | Memcpy { dst; src; len } -> Format.fprintf ppf "memcpy([%d], [%d], %d)" dst src len
+  | Memmove { dst; src; len } -> Format.fprintf ppf "memmove([%d], [%d], %d)" dst src len
+  | Flush addr -> Format.fprintf ppf "clwb [%d]" addr
+  | Fence -> Format.fprintf ppf "sfence"
+  | Other -> Format.fprintf ppf "..."
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>%s:" p.name;
+  List.iter (fun i -> Format.fprintf ppf "@,  %a" pp_inst i) p.insts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** A small store-oriented IR modelling the code shapes that make
+    compilers introduce persistency races (paper, section 3.2): runs of
+    contiguous stores that gcc/clang rewrite into [memset]/[memcpy]/
+    [memmove] calls, and wide stores that backends may tear.
+
+    Addresses are symbolic byte offsets within one object. *)
+
+type operand =
+  | Const of int64
+  | Tmp of int  (** a virtual register *)
+
+type inst =
+  | Store of { addr : int; size : int; value : operand; volatile : bool }
+      (** a source-level assignment; [volatile] forbids optimization *)
+  | Load of { dst : int; addr : int; size : int }
+  | Memset of { addr : int; byte : int; len : int }
+  | Memcpy of { dst : int; src : int; len : int }
+  | Memmove of { dst : int; src : int; len : int }
+  | Flush of int
+  | Fence
+  | Other  (** arithmetic / control we don't model *)
+
+type program = { name : string; insts : inst list }
+
+(** [mem_ops p] counts the [Memset]/[Memcpy]/[Memmove] calls — the
+    quantity compared in Table 2b. *)
+val mem_ops : program -> int
+
+(** Plain (non-volatile) [Store] instructions. *)
+val plain_stores : program -> int
+
+val pp_inst : Format.formatter -> inst -> unit
+val pp : Format.formatter -> program -> unit

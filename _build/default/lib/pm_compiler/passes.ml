@@ -1,0 +1,170 @@
+type target = X86_64 | Arm64
+
+type catalog = {
+  compiler : string;
+  target : target;
+  merges_zero_stores : bool;
+  merges_assignments : bool;
+  pairs_wide_stores : bool;
+}
+
+(* Table 2a of the paper. *)
+let known_compilers =
+  [
+    { compiler = "gcc"; target = Arm64; merges_zero_stores = true;
+      merges_assignments = true; pairs_wide_stores = true };
+    { compiler = "clang"; target = Arm64; merges_zero_stores = true;
+      merges_assignments = true; pairs_wide_stores = false };
+    { compiler = "clang"; target = X86_64; merges_zero_stores = true;
+      merges_assignments = true; pairs_wide_stores = false };
+    { compiler = "gcc"; target = X86_64; merges_zero_stores = false;
+      merges_assignments = true; pairs_wide_stores = false };
+  ]
+
+(* A constant whose bytes are all equal can come from a repeated-byte
+   memset; returns that byte. *)
+let repeated_byte size v =
+  let b = Int64.to_int (Int64.logand v 0xFFL) in
+  let rec check i =
+    if i >= size then Some b
+    else if Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) = b
+    then check (i + 1)
+    else None
+  in
+  check 1
+
+let memset_idiom (p : Ir.program) =
+  let rec rewrite acc = function
+    | [] -> List.rev acc
+    | Ir.Store { addr; size; value = Ir.Const v; volatile = false } :: rest as all -> (
+        match repeated_byte size v with
+        | None -> rewrite (List.hd all :: acc) rest
+        | Some byte ->
+            (* Extend the run over contiguous same-byte constant stores. *)
+            let rec extend stop rest =
+              match rest with
+              | Ir.Store { addr = a; size = s; value = Ir.Const v'; volatile = false }
+                :: more
+                when a = stop && repeated_byte s v' = Some byte ->
+                  extend (stop + s) more
+              | _ -> (stop, rest)
+            in
+            let stop, rest' = extend (addr + size) rest in
+            if stop - addr > size then
+              rewrite (Ir.Memset { addr; byte; len = stop - addr } :: acc) rest'
+            else rewrite (List.hd all :: acc) rest)
+    | inst :: rest -> rewrite (inst :: acc) rest
+  in
+  { p with insts = rewrite [] p.Ir.insts }
+
+let memset_merge (p : Ir.program) =
+  let rec rewrite acc = function
+    | Ir.Memset { addr; byte; len }
+      :: Ir.Memset { addr = a2; byte = b2; len = l2 }
+      :: rest
+      when a2 = addr + len && b2 = byte ->
+        rewrite acc (Ir.Memset { addr; byte; len = len + l2 } :: rest)
+    | inst :: rest -> rewrite (inst :: acc) rest
+    | [] -> List.rev acc
+  in
+  { p with insts = rewrite [] p.Ir.insts }
+
+let ranges_overlap d s len = abs (d - s) < len
+
+let memcpy_idiom (p : Ir.program) =
+  (* A copy pair is Load t, addr_src; Store addr_dst, Tmp t. *)
+  let rec rewrite acc = function
+    | Ir.Load { dst = t1; addr = src; size }
+      :: Ir.Store { addr = dst; size = s2; value = Ir.Tmp t2; volatile = false }
+      :: rest
+      when t1 = t2 && size = s2 ->
+        let rec extend len rest =
+          match rest with
+          | Ir.Load { dst = t1'; addr = src'; size = s' }
+            :: Ir.Store { addr = dst'; size = s2'; value = Ir.Tmp t2'; volatile = false }
+            :: more
+            when t1' = t2' && s' = s2' && src' = src + len && dst' = dst + len ->
+              extend (len + s') more
+          | _ -> (len, rest)
+        in
+        let len, rest' = extend size rest in
+        if len > size then
+          let call =
+            if ranges_overlap dst src len then Ir.Memmove { dst; src; len }
+            else Ir.Memcpy { dst; src; len }
+          in
+          rewrite (call :: acc) rest'
+        else rewrite (Ir.Store { addr = dst; size = s2; value = Ir.Tmp t2; volatile = false } :: Ir.Load { dst = t1; addr = src; size } :: acc) rest
+    | inst :: rest -> rewrite (inst :: acc) rest
+    | [] -> List.rev acc
+  in
+  { p with insts = rewrite [] p.Ir.insts }
+
+let pair_wide_stores (p : Ir.program) =
+  let split = function
+    | Ir.Store { addr; size = 8; value = Ir.Const v; volatile = false } ->
+        [
+          Ir.Store { addr; size = 4; value = Ir.Const (Int64.logand v 0xFFFFFFFFL);
+                     volatile = false };
+          Ir.Store { addr = addr + 4; size = 4;
+                     value = Ir.Const (Int64.shift_right_logical v 32); volatile = false };
+        ]
+    | inst -> [ inst ]
+  in
+  { p with insts = List.concat_map split p.Ir.insts }
+
+(* Store inventing: when more than [pressure] temporaries are live, the
+   compiler spills an intermediate into the destination of an upcoming
+   guaranteed store.  We model the spill as an extra store of Tmp (-1)
+   (transient garbage) immediately before the committed store. *)
+let invented_marker = Ir.Tmp (-1)
+
+let invent_stores ?(pressure = 4) (p : Ir.program) =
+  let live = ref 0 in
+  let rewrite inst =
+    match inst with
+    | Ir.Load { dst = _; _ } ->
+        incr live;
+        [ inst ]
+    | Ir.Store { addr; size; volatile = false; _ } when !live > pressure ->
+        live := 0;
+        [ Ir.Store { addr; size; value = invented_marker; volatile = false }; inst ]
+    | Ir.Store _ ->
+        live := max 0 (!live - 1);
+        [ inst ]
+    | Ir.Other | Ir.Fence | Ir.Flush _ | Ir.Memset _ | Ir.Memcpy _ | Ir.Memmove _ ->
+        [ inst ]
+  in
+  { p with insts = List.concat_map rewrite p.Ir.insts }
+
+let invented_stores (p : Ir.program) =
+  List.length
+    (List.filter
+       (function
+         | Ir.Store { value; volatile = false; _ } -> value = invented_marker
+         | _ -> false)
+       p.Ir.insts)
+
+let optimize cat p =
+  let p = if cat.merges_zero_stores then memset_merge (memset_idiom p) else p in
+  let p = if cat.merges_assignments then memcpy_idiom p else p in
+  if cat.pairs_wide_stores then pair_wide_stores p else p
+
+let target_to_string = function X86_64 -> "x86-64" | Arm64 -> "ARM64"
+
+let table_2a () =
+  let row c =
+    let opts =
+      List.filter_map
+        (fun (flag, desc) -> if flag then Some desc else None)
+        [
+          (c.pairs_wide_stores, "non-atomic pair of stores for a 64-bit store");
+          (c.merges_zero_stores, "seq. of zero stores -> memset");
+          (c.merges_assignments, "seq. of assignments -> memcpy/memmove");
+        ]
+    in
+    [ c.compiler; target_to_string c.target; String.concat "; " opts ]
+  in
+  Yashme_util.Pretty.table
+    ~header:[ "Compiler"; "Arch"; "Store Optimizations" ]
+    (List.map row known_compilers)

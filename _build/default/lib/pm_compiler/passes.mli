@@ -1,0 +1,55 @@
+(** The store optimizations of Table 2a, as IR-to-IR passes.
+
+    All of them are legal for non-volatile accesses under the C/C++
+    data-race-freedom assumption — and all of them can turn an innocent
+    assignment into a multi-instruction write that a crash can persist
+    partially. *)
+
+type target = X86_64 | Arm64
+
+(** Which optimizations a compiler applies on a target (Table 2a). *)
+type catalog = {
+  compiler : string;
+  target : target;
+  merges_zero_stores : bool;  (** stores of zero -> memset *)
+  merges_assignments : bool;  (** assignment runs -> memcpy/memmove *)
+  pairs_wide_stores : bool;  (** 64-bit store -> two 32-bit stores *)
+}
+
+(** The six compiler/target rows of Table 2a. *)
+val known_compilers : catalog list
+
+(** Replace runs (>= 2) of contiguous non-volatile constant stores of a
+    repeated byte with [Memset]. *)
+val memset_idiom : Ir.program -> Ir.program
+
+(** Coalesce adjacent [Memset]s of the same byte over contiguous ranges
+    (what turned P-ART's 14 constructor memsets into 3). *)
+val memset_merge : Ir.program -> Ir.program
+
+(** Replace runs (>= 2) of contiguous load/store copy pairs with
+    [Memcpy], or [Memmove] when the ranges overlap. *)
+val memcpy_idiom : Ir.program -> Ir.program
+
+(** Tear non-volatile 8-byte stores into two 4-byte stores (the gcc
+    ARM64 pair-store behaviour of Figure 1). *)
+val pair_wide_stores : Ir.program -> Ir.program
+
+(** Store inventing (paper, sections 3 and 7.2): under register
+    pressure a compiler may legally stash a temporary into a location
+    the program is guaranteed to write anyway.  This pass models it by
+    spilling the intermediate of a two-instruction computation into the
+    final non-volatile destination before the real store — a transient
+    garbage value a crash can persist.  [pressure] is the number of
+    live temporaries that triggers a spill. *)
+val invent_stores : ?pressure:int -> Ir.program -> Ir.program
+
+(** Count the invented (transient) stores of a program produced by
+    [invent_stores]. *)
+val invented_stores : Ir.program -> int
+
+(** The -O3-style pipeline for a given catalog entry. *)
+val optimize : catalog -> Ir.program -> Ir.program
+
+(** Render Table 2a. *)
+val table_2a : unit -> string

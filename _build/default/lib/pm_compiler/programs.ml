@@ -1,0 +1,130 @@
+(* Builders for the code shapes of section 3.2.  Each helper advances a
+   cursor so runs never touch and cannot merge accidentally; an [Other]
+   instruction separates regions (control flow in the real code). *)
+
+type builder = { mutable cursor : int; mutable acc : Ir.inst list }
+
+let make () = { cursor = 0; acc = [] }
+let emit b i = b.acc <- i :: b.acc
+
+let fresh b n =
+  (* Leave a gap so regions are never contiguous. *)
+  let a = b.cursor + 64 in
+  b.cursor <- a + n;
+  a
+
+(* An explicit memset call in the source. *)
+let src_memset b len =
+  let a = fresh b len in
+  emit b (Ir.Memset { addr = a; byte = 0; len });
+  emit b Ir.Other
+
+(* [k] explicit memsets over adjacent ranges (P-ART's constructor
+   pattern): the optimizer coalesces each adjacent group into one. *)
+let adjacent_memsets b k len =
+  let a = fresh b (k * len) in
+  for i = 0 to k - 1 do
+    emit b (Ir.Memset { addr = a + (i * len); byte = 0; len })
+  done;
+  emit b Ir.Other
+
+(* A run of contiguous zero assignments (field initialization). *)
+let zero_run b n =
+  let a = fresh b (8 * n) in
+  for i = 0 to n - 1 do
+    emit b (Ir.Store { addr = a + (8 * i); size = 8; value = Ir.Const 0L; volatile = false })
+  done;
+  emit b Ir.Other
+
+(* A run of contiguous field-to-field assignments (struct copy). *)
+let copy_run b n =
+  let src = fresh b (8 * n) in
+  let dst = fresh b (8 * n) in
+  for i = 0 to n - 1 do
+    emit b (Ir.Load { dst = i; addr = src + (8 * i); size = 8 });
+    emit b (Ir.Store { addr = dst + (8 * i); size = 8; value = Ir.Tmp i; volatile = false })
+  done;
+  emit b Ir.Other
+
+(* Volatile critical stores (P-CLHT's lock-free design): never folded. *)
+let volatile_stores b n =
+  let a = fresh b (8 * n) in
+  for i = 0 to n - 1 do
+    emit b (Ir.Store { addr = a + (8 * i); size = 8; value = Ir.Const 1L; volatile = true })
+  done;
+  emit b Ir.Other
+
+let build name f =
+  let b = make () in
+  f b;
+  { Ir.name; insts = List.rev b.acc }
+
+(* Shapes chosen to match the study: #src-op as in the benchmarks'
+   sources, optimizable runs as clang -O3 found them (Table 2b). *)
+
+let cceh =
+  build "CCEH" (fun b ->
+      for _ = 1 to 6 do src_memset b 64 done;
+      (* Segment construction and directory doubling: many zeroing and
+         bulk-copy sites. *)
+      for _ = 1 to 17 do zero_run b 8 done;
+      for _ = 1 to 10 do copy_run b 4 done)
+
+let fast_fair =
+  build "Fast_Fair" (fun b ->
+      src_memset b 64;
+      for _ = 1 to 2 do zero_run b 6 done;
+      copy_run b 4)
+
+let p_art =
+  build "P-ART" (fun b ->
+      (* 14 inefficient constructor memsets in 3 adjacent groups... *)
+      adjacent_memsets b 5 16;
+      adjacent_memsets b 5 16;
+      adjacent_memsets b 4 16;
+      (* ...plus 3 standalone ones... *)
+      for _ = 1 to 3 do src_memset b 32 done;
+      (* ...and two copy sites the compiler turns into memcpy. *)
+      for _ = 1 to 2 do copy_run b 4 done)
+
+let p_bwtree =
+  build "P-BwTree" (fun b ->
+      for _ = 1 to 6 do src_memset b 64 done;
+      for _ = 1 to 5 do zero_run b 8 done;
+      for _ = 1 to 4 do copy_run b 6 done)
+
+let p_clht =
+  build "P-CLHT" (fun b ->
+      (* Lock-free design: critical stores are volatile; nothing for the
+         optimizer to fold. *)
+      for _ = 1 to 6 do volatile_stores b 4 done)
+
+let p_masstree =
+  build "P-Masstree" (fun b ->
+      for _ = 1 to 3 do src_memset b 32 done;
+      for _ = 1 to 7 do zero_run b 6 done;
+      for _ = 1 to 4 do copy_run b 8 done)
+
+let all = [ cceh; fast_fair; p_art; p_bwtree; p_clht; p_masstree ]
+
+let find name =
+  match List.find_opt (fun (p : Ir.program) -> p.Ir.name = name) all with
+  | Some p -> p
+  | None -> raise Not_found
+
+let clang_x86 =
+  List.find
+    (fun (c : Passes.catalog) -> c.Passes.compiler = "clang" && c.Passes.target = Passes.X86_64)
+    Passes.known_compilers
+
+let counts p = (Ir.mem_ops p, Ir.mem_ops (Passes.optimize clang_x86 p))
+
+let table_2b () =
+  let rows =
+    List.map
+      (fun p ->
+        let src, asm = counts p in
+        [ p.Ir.name; string_of_int src; string_of_int asm ])
+      all
+  in
+  Yashme_util.Pretty.table ~header:[ "Prog"; "#src-op"; "#asm-op" ] rows

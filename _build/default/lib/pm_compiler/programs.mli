@@ -1,0 +1,18 @@
+(** IR encodings of the initialization and copy paths of the index
+    benchmarks, shaped after the paper's empirical study (section 3.2):
+    each program carries the memory-operation calls present in its
+    source plus the store runs that clang -O3 rewrites into more of
+    them.  [table_2b] compares source-level and post-optimization
+    counts. *)
+
+(** Source-level IR of each benchmark, in Table 2b row order. *)
+val all : Ir.program list
+
+val find : string -> Ir.program
+
+(** [counts p] is (source mem-ops, post-optimization mem-ops) under the
+    clang/x86-64 catalog entry. *)
+val counts : Ir.program -> int * int
+
+(** Render Table 2b. *)
+val table_2b : unit -> string

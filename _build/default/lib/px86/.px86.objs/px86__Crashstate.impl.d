@@ -1,0 +1,1 @@
+lib/px86/crashstate.ml: Addr Event Hashtbl List Memimage

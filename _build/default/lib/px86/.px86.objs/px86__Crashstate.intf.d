@@ -1,0 +1,1 @@
+lib/px86/crashstate.mli: Addr Event Hashtbl Memimage

@@ -1,0 +1,1 @@
+lib/px86/event.ml: Access Addr Format Yashme_util

@@ -1,0 +1,1 @@
+lib/px86/event.mli: Access Addr Format Yashme_util

@@ -1,0 +1,1 @@
+lib/px86/flush_buffer.ml: Event

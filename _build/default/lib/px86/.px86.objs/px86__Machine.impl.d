@@ -1,0 +1,1 @@
+lib/px86/machine.ml: Access Addr Crashstate Event Flush_buffer Hashtbl List Memimage Observer Option Persistence Store_buffer Yashme_util

@@ -1,0 +1,1 @@
+lib/px86/machine.mli: Access Addr Crashstate Event Observer Persistence Yashme_util

@@ -1,0 +1,1 @@
+lib/px86/memimage.ml: Addr Bytes Char Int64

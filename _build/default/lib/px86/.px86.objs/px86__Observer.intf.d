@@ -1,0 +1,1 @@
+lib/px86/observer.mli: Event

@@ -1,0 +1,1 @@
+lib/px86/persistence.ml: Addr Event Hashtbl List

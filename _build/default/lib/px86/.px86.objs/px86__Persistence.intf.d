@@ -1,0 +1,1 @@
+lib/px86/persistence.mli: Addr Event

@@ -1,0 +1,1 @@
+lib/px86/store_buffer.ml: Addr Event List Reorder

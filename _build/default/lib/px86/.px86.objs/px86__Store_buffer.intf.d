@@ -1,0 +1,1 @@
+lib/px86/store_buffer.mli: Addr Event

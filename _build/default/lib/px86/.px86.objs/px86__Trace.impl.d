@@ -1,0 +1,1 @@
+lib/px86/trace.ml: Event Format List Observer Yashme_util

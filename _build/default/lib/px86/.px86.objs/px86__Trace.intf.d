@@ -1,0 +1,1 @@
+lib/px86/trace.mli: Event Format Observer Yashme_util

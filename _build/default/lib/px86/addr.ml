@@ -1,0 +1,14 @@
+type t = int
+
+let line_size = 64
+let line a = a lsr 6
+let line_base a = a land lnot 63
+let same_line a b = line a = line b
+
+let lines_covering a n =
+  assert (n >= 1);
+  let first = line a and last = line (a + n - 1) in
+  let rec collect l acc = if l < first then acc else collect (l - 1) (l :: acc) in
+  collect last []
+
+let pp ppf a = Format.fprintf ppf "0x%x" a

@@ -1,0 +1,61 @@
+type origin = { store : Event.store; exec_id : int }
+
+type t = {
+  exec_id : int;
+  image : Memimage.t;
+  origins : (Addr.t, origin) Hashtbl.t;
+  cands : (Addr.t * int, origin list) Hashtbl.t;
+  mutable heap_break : int;
+}
+
+let boot () =
+  {
+    exec_id = -1;
+    image = Memimage.create ();
+    origins = Hashtbl.create 64;
+    cands = Hashtbl.create 64;
+    heap_break = Addr.line_size (* keep line 0 for runtime metadata *);
+  }
+
+let find_origin t ~addr ~size =
+  let rec scan i best distinct =
+    if i >= size then (best, distinct)
+    else
+      match Hashtbl.find_opt t.origins (addr + i) with
+      | None -> scan (i + 1) best distinct
+      | Some o ->
+          let best' =
+            match best with
+            | None -> Some o
+            | Some b -> if o.store.Event.seq > b.store.Event.seq then Some o else Some b
+          in
+          let distinct' =
+            match best with
+            | Some b when b.store != o.store -> true
+            | _ -> distinct
+          in
+          scan (i + 1) best' distinct'
+  in
+  match scan 0 None false with
+  | None, _ -> None
+  | Some o, torn -> Some (o, torn)
+
+let find_candidates t ~addr ~size =
+  match Hashtbl.find_opt t.cands (addr, size) with
+  | Some cs -> cs
+  | None ->
+      (* Distinct byte origins, oldest first. *)
+      let seen = Hashtbl.create 4 in
+      let acc = ref [] in
+      for i = 0 to size - 1 do
+        match Hashtbl.find_opt t.origins (addr + i) with
+        | None -> ()
+        | Some o ->
+            if not (Hashtbl.mem seen o.store.Event.seq) then begin
+              Hashtbl.add seen o.store.Event.seq ();
+              acc := o :: !acc
+            end
+      done;
+      List.sort
+        (fun a b -> compare a.store.Event.seq b.store.Event.seq)
+        !acc

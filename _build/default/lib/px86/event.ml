@@ -1,0 +1,45 @@
+type store = {
+  mutable seq : int;
+  tid : int;
+  lclk : int;
+  cv : Yashme_util.Clockvec.t;
+  addr : Addr.t;
+  size : int;
+  value : int64;
+  access : Access.t;
+  nt : bool;
+  label : string option;
+}
+
+type flush_kind = Clflush | Clwb
+
+type flush = {
+  mutable fseq : int;
+  ftid : int;
+  flclk : int;
+  fcv : Yashme_util.Clockvec.t;
+  faddr : Addr.t;
+  kind : flush_kind;
+}
+
+type fence_kind = Sfence | Mfence
+
+type fence = {
+  ktid : int;
+  klclk : int;
+  kcv : Yashme_util.Clockvec.t;
+  kkind : fence_kind;
+}
+
+let store_covers s a n = s.addr <= a && a + n <= s.addr + s.size
+let store_overlaps s a n = s.addr < a + n && a < s.addr + s.size
+
+let pp_store ppf s =
+  Format.fprintf ppf "store[%s tid=%d lclk=%d seq=%d %a..+%d = %Ld %a]"
+    (match s.label with Some l -> l | None -> "?")
+    s.tid s.lclk s.seq Addr.pp s.addr s.size s.value Access.pp s.access
+
+let pp_flush ppf f =
+  Format.fprintf ppf "%s[tid=%d lclk=%d seq=%d line=%d]"
+    (match f.kind with Clflush -> "clflush" | Clwb -> "clwb")
+    f.ftid f.flclk f.fseq (Addr.line f.faddr)

@@ -1,0 +1,12 @@
+type t = { mutable items : Event.flush list (* oldest first *) }
+
+let create () = { items = [] }
+let is_empty t = t.items = []
+let add t f = t.items <- t.items @ [ f ]
+
+let drain t =
+  let items = t.items in
+  t.items <- [];
+  items
+
+let pending t = t.items

@@ -1,0 +1,18 @@
+(** Per-thread flush buffer [F_tau] of pending [clwb] operations.
+
+    A [clwb] that has left the store buffer does not yet force a
+    write-back: it waits here until the thread executes an [sfence],
+    [mfence] or locked RMW, at which point the cache line is guaranteed
+    persisted (paper, Figure 8, [Evict_FB]). *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val add : t -> Event.flush -> unit
+
+(** [drain t] removes and returns all pending [clwb]s, oldest first. *)
+val drain : t -> Event.flush list
+
+(** Pending entries without removing them, oldest first. *)
+val pending : t -> Event.flush list

@@ -1,0 +1,377 @@
+module Clockvec = Yashme_util.Clockvec
+module Rng = Yashme_util.Rng
+
+type sb_policy = Eager | Random_drain of float
+
+type config = {
+  sb_policy : sb_policy;
+  rng : Rng.t;
+  observer : Observer.t;
+}
+
+type thread = {
+  tid : int;
+  mutable cv : Clockvec.t;
+  mutable lclk : int;
+  sb : Store_buffer.t;
+  fb : Flush_buffer.t;
+  mutable pending_nt : Event.store list;
+      (* committed non-temporal stores not yet fenced (WC buffers) *)
+}
+
+type t = {
+  cfg : config;
+  exec_id : int;
+  inherited : Crashstate.t;
+  threads : (int, thread) Hashtbl.t;
+  cache : Memimage.t;  (* committed state: inherited image + committed stores *)
+  base : Memimage.t;  (* pristine copy of the inherited image *)
+  pers : Persistence.t;
+  mutable seq : int;  (* global cache-commit order counter *)
+}
+
+type read_source =
+  | From_buffer of Event.store
+  | From_cache of Event.store
+  | From_crash of Crashstate.origin * Crashstate.origin list
+  | From_init
+
+let create ?inherited ~exec_id cfg =
+  let inherited = match inherited with Some c -> c | None -> Crashstate.boot () in
+  {
+    cfg;
+    exec_id;
+    inherited;
+    threads = Hashtbl.create 8;
+    cache = Memimage.copy inherited.Crashstate.image;
+    base = Memimage.copy inherited.Crashstate.image;
+    pers = Persistence.create ();
+    seq = 0;
+  }
+
+let exec_id t = t.exec_id
+let inherited t = t.inherited
+let persistence t = t.pers
+
+let thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th
+  | None ->
+      let th =
+        { tid; cv = Clockvec.empty; lclk = 0;
+          sb = Store_buffer.create (); fb = Flush_buffer.create ();
+          pending_nt = [] }
+      in
+      Hashtbl.add t.threads tid th;
+      th
+
+let thread_cv t ~tid = (thread t tid).cv
+
+let tick th =
+  th.lclk <- th.lclk + 1;
+  th.cv <- Clockvec.set th.cv th.tid th.lclk
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+(* ------------------------------------------------------------------ *)
+(* Store-buffer eviction                                               *)
+
+let apply_store t (s : Event.store) =
+  s.Event.seq <- next_seq t;
+  Memimage.write t.cache ~addr:s.Event.addr ~size:s.Event.size ~value:s.Event.value;
+  Persistence.commit_store t.pers s;
+  (if s.Event.nt then
+     let th = Hashtbl.find t.threads s.Event.tid in
+     th.pending_nt <- s :: th.pending_nt);
+  t.cfg.observer.Observer.on_store_commit s
+
+(* A fence also drains the write-combining buffers: every committed
+   non-temporal store becomes durable on its own. *)
+let drain_nt t th (fence : Event.fence) =
+  List.iter
+    (fun (s : Event.store) ->
+      Persistence.mark_durable t.pers s;
+      t.cfg.observer.Observer.on_nt_persisted s ~fence)
+    (List.rev th.pending_nt);
+  th.pending_nt <- []
+
+let drain_flush_buffer t th (fence : Event.fence) =
+  List.iter
+    (fun (f : Event.flush) ->
+      Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr) ~seq:f.Event.fseq;
+      t.cfg.observer.Observer.on_flush_applied f ~fence)
+    (Flush_buffer.drain th.fb);
+  drain_nt t th fence
+
+let apply_entry t th (entry : Store_buffer.entry) =
+  match entry with
+  | Store_buffer.Store s -> apply_store t s
+  | Store_buffer.Flush ({ kind = Event.Clflush; _ } as f) ->
+      f.Event.fseq <- next_seq t;
+      Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr) ~seq:f.Event.fseq;
+      t.cfg.observer.Observer.on_clflush_commit f
+  | Store_buffer.Flush ({ kind = Event.Clwb; _ } as f) ->
+      f.Event.fseq <- next_seq t;
+      Flush_buffer.add th.fb f;
+      t.cfg.observer.Observer.on_clwb_commit f
+  | Store_buffer.Sfence k ->
+      ignore (next_seq t);
+      drain_flush_buffer t th k;
+      t.cfg.observer.Observer.on_fence k
+
+let drain_sb t th =
+  while not (Store_buffer.is_empty th.sb) do
+    apply_entry t th (Store_buffer.take th.sb 0)
+  done
+
+let drain_all_sb t = Hashtbl.iter (fun _ th -> drain_sb t th) t.threads
+
+let background t =
+  match t.cfg.sb_policy with
+  | Eager -> drain_all_sb t
+  | Random_drain p ->
+      let nonempty () =
+        Hashtbl.fold (fun _ th acc -> if Store_buffer.is_empty th.sb then acc else th :: acc)
+          t.threads []
+      in
+      let rec loop () =
+        match nonempty () with
+        | [] -> ()
+        | ths ->
+            if Rng.chance t.cfg.rng p then begin
+              let th = Rng.pick t.cfg.rng ths in
+              let idx = Rng.pick t.cfg.rng (Store_buffer.evictable th.sb) in
+              apply_entry t th (Store_buffer.take th.sb idx);
+              loop ()
+            end
+      in
+      loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+
+let store ?(nt = false) t ~tid ~addr ~size ~value ~access ~label =
+  let th = thread t tid in
+  tick th;
+  let s =
+    { Event.seq = -1; tid; lclk = th.lclk; cv = th.cv; addr; size; value; access; nt;
+      label }
+  in
+  Store_buffer.push th.sb (Store_buffer.Store s)
+
+let committed_read_from t ~addr ~size =
+  let rec newest_covering = function
+    | [] -> None
+    | (s : Event.store) :: rest ->
+        if Event.store_covers s addr size then Some s else newest_covering rest
+  in
+  (* line_stores is oldest-first; search newest-first. *)
+  newest_covering (List.rev (Persistence.line_stores t.pers (Addr.line addr)))
+
+let cache_read t th ~addr ~size ~access =
+  let value = Memimage.read t.cache ~addr ~size in
+  let source =
+    match committed_read_from t ~addr ~size with
+    | Some s -> From_cache s
+    | None -> (
+        match Crashstate.find_origin t.inherited ~addr ~size with
+        | Some (origin, _torn) ->
+            let cands = Crashstate.find_candidates t.inherited ~addr ~size in
+            From_crash (origin, cands)
+        | None -> From_init)
+  in
+  (* Acquire loads synchronize-with the release store they read from. *)
+  (if Access.is_acquire access then
+     match source with
+     | From_cache s when Access.is_release s.Event.access ->
+         th.cv <- Clockvec.join th.cv s.Event.cv
+     | From_cache _ | From_buffer _ | From_crash _ | From_init -> ());
+  (value, source)
+
+let load t ~tid ~addr ~size ~access =
+  let th = thread t tid in
+  tick th;
+  match Store_buffer.forward th.sb ~addr ~size with
+  | Store_buffer.Covered s -> (s.Event.value, From_buffer s)
+  | Store_buffer.Partial ->
+      (* Real hardware stalls partial forwarding; drain and read the cache. *)
+      drain_sb t th;
+      cache_read t th ~addr ~size ~access
+  | Store_buffer.Miss -> cache_read t th ~addr ~size ~access
+
+let clflush t ~tid ~addr =
+  let th = thread t tid in
+  tick th;
+  let f =
+    { Event.fseq = -1; ftid = tid; flclk = th.lclk; fcv = th.cv; faddr = addr;
+      kind = Event.Clflush }
+  in
+  Store_buffer.push th.sb (Store_buffer.Flush f)
+
+let clwb t ~tid ~addr =
+  let th = thread t tid in
+  tick th;
+  let f =
+    { Event.fseq = -1; ftid = tid; flclk = th.lclk; fcv = th.cv; faddr = addr;
+      kind = Event.Clwb }
+  in
+  Store_buffer.push th.sb (Store_buffer.Flush f)
+
+let sfence t ~tid =
+  let th = thread t tid in
+  tick th;
+  let k = { Event.ktid = tid; klclk = th.lclk; kcv = th.cv; kkind = Event.Sfence } in
+  Store_buffer.push th.sb (Store_buffer.Sfence k)
+
+let mfence t ~tid =
+  let th = thread t tid in
+  tick th;
+  drain_sb t th;
+  let k = { Event.ktid = tid; klclk = th.lclk; kcv = th.cv; kkind = Event.Mfence } in
+  drain_flush_buffer t th k;
+  t.cfg.observer.Observer.on_fence k
+
+let cas t ~tid ~addr ~size ~expected ~desired ~label =
+  let th = thread t tid in
+  tick th;
+  (* Locked RMW: clears the store buffer and (like mfence) the flush
+     buffer before taking effect. *)
+  drain_sb t th;
+  let k = { Event.ktid = tid; klclk = th.lclk; kcv = th.cv; kkind = Event.Mfence } in
+  drain_flush_buffer t th k;
+  let observed, source = cache_read t th ~addr ~size ~access:(Access.Atomic Access.Acq_rel) in
+  if observed = expected then begin
+    tick th;
+    let s =
+      { Event.seq = -1; tid; lclk = th.lclk; cv = th.cv; addr; size; value = desired;
+        access = Access.Atomic Access.Acq_rel; nt = false; label }
+    in
+    apply_store t s;
+    (true, observed, source)
+  end
+  else (false, observed, source)
+
+(* ------------------------------------------------------------------ *)
+(* Crashes                                                             *)
+
+type cut_strategy = Cut_all | Cut_lowerbound | Cut_random of Rng.t
+
+let buffered_stores t =
+  Hashtbl.fold
+    (fun _ th acc ->
+      acc
+      + List.length
+          (List.filter
+             (function Store_buffer.Store _ -> true | _ -> false)
+             (Store_buffer.entries th.sb)))
+    t.threads 0
+
+let line_cut t ~strategy line =
+  let lb = Persistence.cut_lb t.pers line in
+  let later =
+    List.filter (fun (s : Event.store) -> s.Event.seq > lb) (Persistence.line_stores t.pers line)
+  in
+  match strategy with
+  | Cut_all -> List.fold_left (fun acc (s : Event.store) -> max acc s.Event.seq) lb later
+  | Cut_lowerbound -> lb
+  | Cut_random rng ->
+      let choices = lb :: List.map (fun (s : Event.store) -> s.Event.seq) later in
+      Rng.pick rng choices
+
+let rec drain_everything t =
+  drain_all_sb t;
+  let pending =
+    Hashtbl.fold
+      (fun _ th acc -> if Flush_buffer.is_empty th.fb then acc else th :: acc)
+      t.threads []
+  in
+  match pending with
+  | [] -> ()
+  | ths ->
+      List.iter
+        (fun th ->
+          let k =
+            { Event.ktid = th.tid; klclk = th.lclk; kcv = th.cv; kkind = Event.Mfence }
+          in
+          drain_flush_buffer t th k)
+        ths;
+      drain_everything t
+
+let crash t ~strategy =
+  (* Store-buffer contents are volatile and vanish: do NOT drain. *)
+  let image = Memimage.copy t.base in
+  let origins : (Addr.t, Crashstate.origin) Hashtbl.t =
+    Hashtbl.copy t.inherited.Crashstate.origins
+  in
+  let cands : (Addr.t * int, Crashstate.origin list) Hashtbl.t =
+    Hashtbl.copy t.inherited.Crashstate.cands
+  in
+  let cuts = Hashtbl.create 16 in
+  List.iter
+    (fun line -> Hashtbl.replace cuts line (line_cut t ~strategy line))
+    (Persistence.lines t.pers);
+  (* Replay persisted stores in global commit order to materialize the image. *)
+  let all_stores =
+    Persistence.lines t.pers
+    |> List.concat_map (fun line ->
+           let cut = Hashtbl.find cuts line in
+           Persistence.line_stores t.pers line
+           |> List.filter (fun (s : Event.store) ->
+                  (s.Event.seq <= cut || Persistence.is_durable_nt t.pers s)
+                  (* a straddling store is listed on both lines; attribute it
+                     to the line of its first byte to replay it once *)
+                  && Addr.line s.Event.addr = line))
+    |> List.sort (fun (a : Event.store) b -> compare a.Event.seq b.Event.seq)
+  in
+  List.iter
+    (fun (s : Event.store) ->
+      Memimage.write image ~addr:s.Event.addr ~size:s.Event.size ~value:s.Event.value;
+      let origin = { Crashstate.store = s; exec_id = t.exec_id } in
+      for i = 0 to s.Event.size - 1 do
+        Hashtbl.replace origins (s.Event.addr + i) origin
+      done)
+    all_stores;
+  (* Candidate sets: group committed stores by (addr, size). *)
+  let groups : (Addr.t * int, Event.store list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      List.iter
+        (fun (s : Event.store) ->
+          if Addr.line s.Event.addr = line then
+            let key = (s.Event.addr, s.Event.size) in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+            Hashtbl.replace groups key (s :: prev))
+        (Persistence.line_stores t.pers line))
+    (Persistence.lines t.pers);
+  Hashtbl.iter
+    (fun (addr, size) _ ->
+      let this_exec =
+        Persistence.candidates t.pers ~addr ~size
+        |> List.map (fun s -> { Crashstate.store = s; exec_id = t.exec_id })
+      in
+      let lb = Persistence.cut_lb t.pers (Addr.line addr) in
+      let has_durable_base =
+        Persistence.latest_at_or_below t.pers ~addr ~size ~cut:lb <> None
+      in
+      let merged =
+        if has_durable_base then this_exec
+        else Crashstate.find_candidates t.inherited ~addr ~size @ this_exec
+      in
+      Hashtbl.replace cands (addr, size) merged)
+    groups;
+  {
+    Crashstate.exec_id = t.exec_id;
+    image;
+    origins;
+    cands;
+    heap_break = t.inherited.Crashstate.heap_break;
+  }
+
+let shutdown t =
+  drain_everything t;
+  List.iter
+    (fun line -> Persistence.flush_line t.pers ~line ~seq:t.seq)
+    (Persistence.lines t.pers);
+  crash t ~strategy:Cut_all

@@ -1,0 +1,22 @@
+(** A growable byte image of (persistent or cached) memory.
+
+    Values are little-endian; reads and writes may span cache lines.
+    Unwritten bytes read as zero, matching zero-initialized persistent
+    pools. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+(** [read t ~addr ~size] reads [size] bytes (1..8) little-endian. *)
+val read : t -> addr:Addr.t -> size:int -> int64
+
+(** [write t ~addr ~size ~value] writes the low [size] bytes of [value]. *)
+val write : t -> addr:Addr.t -> size:int -> value:int64 -> unit
+
+(** [blit_line ~src ~dst line] copies one whole cache line. *)
+val blit_line : src:t -> dst:t -> int -> unit
+
+(** Highest written address + 1 (0 for a fresh image). *)
+val extent : t -> int

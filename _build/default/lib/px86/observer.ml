@@ -1,0 +1,46 @@
+type t = {
+  on_store_commit : Event.store -> unit;
+  on_clflush_commit : Event.flush -> unit;
+  on_clwb_commit : Event.flush -> unit;
+  on_flush_applied : Event.flush -> fence:Event.fence -> unit;
+  on_nt_persisted : Event.store -> fence:Event.fence -> unit;
+  on_fence : Event.fence -> unit;
+}
+
+let nop =
+  {
+    on_store_commit = (fun _ -> ());
+    on_clflush_commit = (fun _ -> ());
+    on_clwb_commit = (fun _ -> ());
+    on_flush_applied = (fun _ ~fence:_ -> ());
+    on_nt_persisted = (fun _ ~fence:_ -> ());
+    on_fence = (fun _ -> ());
+  }
+
+let combine a b =
+  {
+    on_store_commit =
+      (fun s ->
+        a.on_store_commit s;
+        b.on_store_commit s);
+    on_clflush_commit =
+      (fun f ->
+        a.on_clflush_commit f;
+        b.on_clflush_commit f);
+    on_clwb_commit =
+      (fun f ->
+        a.on_clwb_commit f;
+        b.on_clwb_commit f);
+    on_flush_applied =
+      (fun f ~fence ->
+        a.on_flush_applied f ~fence;
+        b.on_flush_applied f ~fence);
+    on_nt_persisted =
+      (fun s ~fence ->
+        a.on_nt_persisted s ~fence;
+        b.on_nt_persisted s ~fence);
+    on_fence =
+      (fun k ->
+        a.on_fence k;
+        b.on_fence k);
+  }

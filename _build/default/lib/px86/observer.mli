@@ -1,0 +1,25 @@
+(** Hooks through which the machine reports persistency-relevant events.
+
+    The Yashme detector subscribes to these, mirroring how the paper's
+    implementation plugs into Jaaru: the infrastructure "reports
+    persistent memory relevant execution events to Yashme". *)
+
+type t = {
+  on_store_commit : Event.store -> unit;
+      (** a store left a store buffer and hit the cache ([Evict_SB]) *)
+  on_clflush_commit : Event.flush -> unit;
+      (** a [clflush] left a store buffer ([Evict_SB], flushes the line) *)
+  on_clwb_commit : Event.flush -> unit;
+      (** a [clwb] left a store buffer and entered the flush buffer *)
+  on_flush_applied : Event.flush -> fence:Event.fence -> unit;
+      (** a buffered [clwb] was forced durable by a fence ([Evict_FB]) *)
+  on_nt_persisted : Event.store -> fence:Event.fence -> unit;
+      (** a non-temporal store was made durable by a fence *)
+  on_fence : Event.fence -> unit;  (** an [sfence]/[mfence] completed *)
+}
+
+(** Observer that ignores everything. *)
+val nop : t
+
+(** [combine a b] forwards every event to [a] then [b]. *)
+val combine : t -> t -> t

@@ -1,0 +1,73 @@
+type line_state = {
+  mutable stores : Event.store list; (* newest first *)
+  mutable cut_lb : int;
+}
+
+type t = {
+  lines : (int, line_state) Hashtbl.t;
+  durable_nt : (int, unit) Hashtbl.t;  (* seq of individually durable stores *)
+}
+
+let create () = { lines = Hashtbl.create 64; durable_nt = Hashtbl.create 16 }
+
+let mark_durable t (s : Event.store) = Hashtbl.replace t.durable_nt s.Event.seq ()
+let is_durable_nt t (s : Event.store) = Hashtbl.mem t.durable_nt s.Event.seq
+
+let get_line t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some ls -> ls
+  | None ->
+      let ls = { stores = []; cut_lb = 0 } in
+      Hashtbl.add t.lines line ls;
+      ls
+
+let commit_store t (s : Event.store) =
+  (* A store may straddle a line boundary; register it on every line it
+     touches so flushes of either line cover it. *)
+  List.iter
+    (fun line ->
+      let ls = get_line t line in
+      ls.stores <- s :: ls.stores)
+    (Addr.lines_covering s.addr s.size)
+
+let flush_line t ~line ~seq =
+  let ls = get_line t line in
+  if seq > ls.cut_lb then ls.cut_lb <- seq
+
+let line_stores t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some ls -> List.rev ls.stores
+  | None -> []
+
+let cut_lb t line =
+  match Hashtbl.find_opt t.lines line with Some ls -> ls.cut_lb | None -> 0
+
+let lines t = Hashtbl.fold (fun line _ acc -> line :: acc) t.lines [] |> List.sort compare
+
+let covering_stores t ~addr ~size =
+  (* Stores covering the range, newest first.  All of them live on the
+     line of [addr] (covering stores touch that line by definition). *)
+  match Hashtbl.find_opt t.lines (Addr.line addr) with
+  | None -> []
+  | Some ls -> List.filter (fun s -> Event.store_covers s addr size) ls.stores
+
+let latest_at_or_below t ~addr ~size ~cut =
+  let rec scan = function
+    | [] -> None
+    | (s : Event.store) :: rest ->
+        if s.seq <= cut || is_durable_nt t s then Some s else scan rest
+  in
+  scan (covering_stores t ~addr ~size)
+
+let candidates t ~addr ~size =
+  let newest_first = covering_stores t ~addr ~size in
+  let lb = cut_lb t (Addr.line addr) in
+  let durable (s : Event.store) = s.seq <= lb || is_durable_nt t s in
+  let rec split acc = function
+    | [] -> acc (* no definitely-durable base *)
+    | (s : Event.store) :: rest ->
+        if durable s then s :: acc
+          (* s is the base; older stores are overwritten durably *)
+        else split (s :: acc) rest
+  in
+  split [] newest_first

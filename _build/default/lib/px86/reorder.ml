@@ -1,0 +1,53 @@
+type kind = Read | Write | Rmw | Mfence_k | Sfence_k | Clflushopt | Clflush_k
+
+type cell = Yes | No | Cacheline
+
+(* Table 1 of the paper: rows are the earlier instruction, columns the
+   later one.  Column order: Read, Write, RMW, mfence, sfence, clflushopt,
+   clflush. *)
+let matrix earlier later =
+  match earlier, later with
+  | Read, _ -> Yes
+  | Write, Read -> No
+  | Write, Clflushopt -> Cacheline
+  | Write, (Write | Rmw | Mfence_k | Sfence_k | Clflush_k) -> Yes
+  | Rmw, _ -> Yes
+  | Mfence_k, _ -> Yes
+  | Sfence_k, Read -> No
+  | Sfence_k, (Write | Rmw | Mfence_k | Sfence_k | Clflushopt | Clflush_k) -> Yes
+  | Clflushopt, (Read | Write | Clflushopt) -> No
+  | Clflushopt, Clflush_k -> Cacheline
+  | Clflushopt, (Rmw | Mfence_k | Sfence_k) -> Yes
+  | Clflush_k, Read -> No
+  | Clflush_k, Clflushopt -> Cacheline
+  | Clflush_k, (Write | Rmw | Mfence_k | Sfence_k | Clflush_k) -> Yes
+
+let required ~earlier ~later ~same_line =
+  match matrix earlier later with
+  | Yes -> true
+  | No -> false
+  | Cacheline -> same_line
+
+let all_kinds = [ Read; Write; Rmw; Mfence_k; Sfence_k; Clflushopt; Clflush_k ]
+
+let kind_to_string = function
+  | Read -> "Read"
+  | Write -> "Write"
+  | Rmw -> "RMW"
+  | Mfence_k -> "mfence"
+  | Sfence_k -> "sfence"
+  | Clflushopt -> "clflushopt"
+  | Clflush_k -> "clflush"
+
+let cell_to_string = function Yes -> "Y" | No -> "x" | Cacheline -> "CL"
+
+let table () =
+  let header = "earlier\\later" :: List.map kind_to_string all_kinds in
+  let rows =
+    List.map
+      (fun earlier ->
+        kind_to_string earlier
+        :: List.map (fun later -> cell_to_string (matrix earlier later)) all_kinds)
+      all_kinds
+  in
+  Yashme_util.Pretty.table ~header rows

@@ -1,0 +1,69 @@
+type entry =
+  | Store of Event.store
+  | Flush of Event.flush
+  | Sfence of Event.fence
+
+type t = { mutable items : entry list (* oldest first *) }
+
+let create () = { items = [] }
+let is_empty t = t.items = []
+let length t = List.length t.items
+let push t e = t.items <- t.items @ [ e ]
+let entries t = t.items
+
+let kind_of_entry = function
+  | Store _ -> Reorder.Write
+  | Flush { kind = Event.Clflush; _ } -> Reorder.Clflush_k
+  | Flush { kind = Event.Clwb; _ } -> Reorder.Clflushopt
+  | Sfence _ -> Reorder.Sfence_k
+
+let line_of_entry = function
+  | Store s -> Some (Addr.line s.addr)
+  | Flush f -> Some (Addr.line f.faddr)
+  | Sfence _ -> None
+
+(* Entry [e] may leave the buffer before an older entry [d] only when
+   Table 1 does not require d-before-e order. *)
+let may_overtake ~older:d ~newer:e =
+  let same_line =
+    match line_of_entry d, line_of_entry e with
+    | Some a, Some b -> a = b
+    | _ -> false
+  in
+  not (Reorder.required ~earlier:(kind_of_entry d) ~later:(kind_of_entry e) ~same_line)
+
+let evictable t =
+  let rec scan i olders = function
+    | [] -> []
+    | e :: rest ->
+        let ok = List.for_all (fun d -> may_overtake ~older:d ~newer:e) olders in
+        let tail = scan (i + 1) (olders @ [ e ]) rest in
+        if ok then i :: tail else tail
+  in
+  scan 0 [] t.items
+
+let take t i =
+  let rec split j acc = function
+    | [] -> invalid_arg "Store_buffer.take: index out of range"
+    | e :: rest ->
+        if j = i then begin
+          t.items <- List.rev_append acc rest;
+          e
+        end
+        else split (j + 1) (e :: acc) rest
+  in
+  split 0 [] t.items
+
+type forwarding = Covered of Event.store | Partial | Miss
+
+let forward t ~addr ~size =
+  (* Newest matching store wins; scan newest-first. *)
+  let rec scan = function
+    | [] -> Miss
+    | Store s :: rest ->
+        if Event.store_covers s addr size then Covered s
+        else if Event.store_overlaps s addr size then Partial
+        else scan rest
+    | (Flush _ | Sfence _) :: rest -> scan rest
+  in
+  scan (List.rev t.items)

@@ -1,0 +1,31 @@
+(** Recording of committed machine events, for race witnesses and
+    debugging.
+
+    A trace captures the cache-commit order of an execution: stores,
+    flush commits, flush-buffer drains and fences.  The harness attaches
+    a recorder alongside the detector (via {!Observer.combine}) and uses
+    the trace to print the race-revealing pre-crash prefix [E+] the
+    paper reports as a witness (section 5.1). *)
+
+type entry =
+  | Store of Event.store
+  | Clflush of Event.flush
+  | Clwb_queued of Event.flush
+  | Clwb_applied of Event.flush * Event.fence
+  | Nt_persisted of Event.store * Event.fence
+  | Fence of Event.fence
+
+type t
+
+(** A recorder and the observer that feeds it. *)
+val recorder : unit -> t * Observer.t
+
+(** Entries in commit order. *)
+val entries : t -> entry list
+
+(** Entries belonging to the consistent prefix bounded by [cvpre]: every
+    event whose thread-local clock is within the clock vector. *)
+val prefix : t -> cvpre:Yashme_util.Clockvec.t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Effect Hashtbl List Pmem Px86 Yashme Yashme_util

@@ -1,0 +1,1 @@
+lib/runtime/pmem.ml: Buffer Char Effect Int64 List Px86 String

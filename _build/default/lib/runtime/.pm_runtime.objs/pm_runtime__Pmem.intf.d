@@ -1,0 +1,1 @@
+lib/runtime/pmem.mli: Effect Px86

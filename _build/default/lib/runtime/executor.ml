@@ -1,0 +1,403 @@
+module Rng = Yashme_util.Rng
+module Machine = Px86.Machine
+
+exception Crash_signal
+(** Raised into suspended threads when the machine crashes. *)
+
+type plan =
+  | Run_to_end
+  | Crash_at_end
+  | Crash_before_op of int
+  | Crash_before_flush of int
+
+type sched_policy = Round_robin | Random_sched
+
+type outcome = Completed | Crashed
+
+type result = {
+  outcome : outcome;
+  state : Px86.Crashstate.t;
+  ops : int;
+  flush_points : int;
+  crashed_at_op : int option;
+}
+
+type opkind =
+  | Op_mem  (** load / store / cas *)
+  | Op_flushpt  (** clflush / clwb / sfence / mfence: crash-plan points *)
+  | Op_meta  (** alloc / spawn / join / yield / ... *)
+  | Op_crash_req  (** explicit [Pmem.crash_now] *)
+
+type pending = {
+  p_kind : opkind;
+  p_run : unit -> unit;  (** execute the op, resume the thread *)
+  p_abort : unit -> unit;  (** discontinue the thread with [Crash_signal] *)
+}
+
+type tstate =
+  | Ready of pending
+  | Waiting of { target : int; w_resume : unit -> unit; w_abort : unit -> unit }
+  | Done
+
+type state = {
+  detector : Yashme.Detector.t option;
+  check_candidates : bool;
+  machine : Machine.t;
+  cut : Machine.cut_strategy;
+  plan : plan;
+  sched : sched_policy;
+  rng : Rng.t;
+  exec_id : int;
+  threads : (int, tstate) Hashtbl.t;
+  mutable tid_order : int list;  (** spawn order, for deterministic picks *)
+  mutable next_tid : int;
+  mutable rr_cursor : int;
+  mutable heap_break : int;
+  validating : (int, int) Hashtbl.t;  (** tid -> nesting depth *)
+  mutable ops : int;
+  mutable flush_points : int;
+  mutable crashed : bool;
+  mutable crash_state : Px86.Crashstate.t option;
+  mutable crashed_at_op : int option;
+  mutable error : exn option;
+}
+
+let set_state st tid s = Hashtbl.replace st.threads tid s
+
+let get_state st tid =
+  match Hashtbl.find_opt st.threads tid with Some s -> s | None -> Done
+
+let validating_depth st tid =
+  match Hashtbl.find_opt st.validating tid with Some d -> d | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Detector wiring for post-crash reads                                 *)
+
+let same_origin (a : Px86.Crashstate.origin) (b : Px86.Crashstate.origin) =
+  a.Px86.Crashstate.exec_id = b.Px86.Crashstate.exec_id
+  && a.Px86.Crashstate.store.Px86.Event.seq = b.Px86.Crashstate.store.Px86.Event.seq
+
+let check_crash_read st ~tid ~addr ~size source =
+  match st.detector, source with
+  | None, _ -> ()
+  | Some d, Machine.From_crash (origin, cands) ->
+      let benign = validating_depth st tid > 0 in
+      let check ~commit (o : Px86.Crashstate.origin) =
+        let store = o.Px86.Crashstate.store in
+        if commit && Px86.Access.is_release store.Px86.Event.access then
+          Yashme.Detector.load_atomic d ~exec:o.Px86.Crashstate.exec_id ~store
+        else
+          ignore
+            (Yashme.Detector.load_non_atomic d ~exec:o.Px86.Crashstate.exec_id ~store
+               ~load_addr:addr ~load_size:size ~load_tid:tid ~load_exec:st.exec_id
+               ~commit ~benign)
+      in
+      (* Candidate stores the load could have read in some consistent
+         execution are all checked (paper §6, random mode); only the
+         committed read advances CVpre / lastflush. *)
+      if st.check_candidates then
+        List.iter
+          (fun c -> if not (same_origin c origin) then check ~commit:false c)
+          cands;
+      check ~commit:true origin
+  | Some _, (Machine.From_buffer _ | Machine.From_cache _ | Machine.From_init) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Operation execution                                                  *)
+
+let exec_store st tid (r : Pmem.store_req) =
+  Machine.store ~nt:r.Pmem.s_nt st.machine ~tid ~addr:r.Pmem.s_addr
+    ~size:r.Pmem.s_size ~value:r.Pmem.s_value ~access:r.Pmem.s_access
+    ~label:r.Pmem.s_label
+
+let exec_load st tid (r : Pmem.load_req) =
+  let value, source =
+    Machine.load st.machine ~tid ~addr:r.Pmem.l_addr ~size:r.Pmem.l_size
+      ~access:r.Pmem.l_access
+  in
+  check_crash_read st ~tid ~addr:r.Pmem.l_addr ~size:r.Pmem.l_size source;
+  value
+
+let exec_cas st tid (r : Pmem.cas_req) =
+  let ok, _observed, source =
+    Machine.cas st.machine ~tid ~addr:r.Pmem.c_addr ~size:r.Pmem.c_size
+      ~expected:r.Pmem.c_expected ~desired:r.Pmem.c_desired ~label:r.Pmem.c_label
+  in
+  check_crash_read st ~tid ~addr:r.Pmem.c_addr ~size:r.Pmem.c_size source;
+  ok
+
+let exec_flush st tid (r : Pmem.flush_req) =
+  match r.Pmem.f_kind with
+  | Px86.Event.Clflush -> Machine.clflush st.machine ~tid ~addr:r.Pmem.f_addr
+  | Px86.Event.Clwb -> Machine.clwb st.machine ~tid ~addr:r.Pmem.f_addr
+
+let exec_fence st tid = function
+  | Px86.Event.Sfence -> Machine.sfence st.machine ~tid
+  | Px86.Event.Mfence -> Machine.mfence st.machine ~tid
+
+let exec_alloc st (size, align) =
+  if size <= 0 then invalid_arg "Pmem.alloc: size must be positive";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Pmem.alloc: alignment must be a positive power of two";
+  let base = (st.heap_break + align - 1) land lnot (align - 1) in
+  st.heap_break <- base + size;
+  base
+
+(* ------------------------------------------------------------------ *)
+(* Thread management                                                    *)
+
+let finish_thread st tid =
+  set_state st tid Done;
+  (* Wake joiners. *)
+  Hashtbl.iter
+    (fun wtid s ->
+      match s with
+      | Waiting { target; w_resume; w_abort } when target = tid ->
+          set_state st wtid
+            (Ready { p_kind = Op_meta; p_run = w_resume; p_abort = w_abort })
+      | Waiting _ | Ready _ | Done -> ())
+    st.threads
+
+let rec start_thread st tid (fn : unit -> unit) =
+  let open Effect.Deep in
+  match_with fn ()
+    {
+      retc = (fun () -> finish_thread st tid);
+      exnc =
+        (fun e ->
+          (match e with
+          | Crash_signal -> ()
+          | e -> if st.error = None then st.error <- Some e);
+          finish_thread st tid);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          (* [compute] runs when the scheduler picks this thread; an
+             exception it raises is delivered into the performing thread
+             (like a failing syscall), not into the scheduler. *)
+          let ready kind (compute : unit -> a) =
+            Some
+              (fun (k : (a, unit) continuation) ->
+                set_state st tid
+                  (Ready
+                     {
+                       p_kind = kind;
+                       p_run =
+                         (fun () ->
+                           match compute () with
+                           | v -> continue k v
+                           | exception e -> discontinue k e);
+                       p_abort = (fun () -> discontinue k Crash_signal);
+                     }))
+          in
+          match eff with
+          | Pmem.Store_e r -> ready Op_mem (fun () -> exec_store st tid r)
+          | Pmem.Load_e r -> ready Op_mem (fun () -> exec_load st tid r)
+          | Pmem.Cas_e r ->
+              (* Locked RMW has fence semantics: a crash point like any
+                 other fence in model-checking mode. *)
+              ready Op_flushpt (fun () -> exec_cas st tid r)
+          | Pmem.Flush_e r -> ready Op_flushpt (fun () -> exec_flush st tid r)
+          | Pmem.Fence_e fk -> ready Op_flushpt (fun () -> exec_fence st tid fk)
+          | Pmem.Alloc_e (size, align) ->
+              ready Op_meta (fun () -> exec_alloc st (size, align))
+          | Pmem.Spawn_e fn' ->
+              ready Op_meta (fun () ->
+                  let ntid = st.next_tid in
+                  st.next_tid <- ntid + 1;
+                  st.tid_order <- st.tid_order @ [ ntid ];
+                  set_state st ntid
+                    (Ready
+                       {
+                         p_kind = Op_meta;
+                         p_run = (fun () -> start_thread st ntid fn');
+                         p_abort = (fun () -> set_state st ntid Done);
+                       });
+                  ntid)
+          | Pmem.Join_e target ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  match get_state st target with
+                  | Done ->
+                      set_state st tid
+                        (Ready
+                           {
+                             p_kind = Op_meta;
+                             p_run = (fun () -> continue k ());
+                             p_abort = (fun () -> discontinue k Crash_signal);
+                           })
+                  | Ready _ | Waiting _ ->
+                      set_state st tid
+                        (Waiting
+                           {
+                             target;
+                             w_resume = (fun () -> continue k ());
+                             w_abort = (fun () -> discontinue k Crash_signal);
+                           }))
+          | Pmem.Yield_e -> ready Op_meta (fun () -> ())
+          | Pmem.Crash_now_e -> ready Op_crash_req (fun () -> ())
+          | Pmem.Validating_e on ->
+              ready Op_meta (fun () ->
+                  let d = validating_depth st tid in
+                  Hashtbl.replace st.validating tid (if on then d + 1 else max 0 (d - 1)))
+          | Pmem.My_tid_e -> ready Op_meta (fun () -> tid)
+          | _ -> None)
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                           *)
+
+let ready_tids st =
+  List.filter (fun tid -> match get_state st tid with Ready _ -> true | _ -> false)
+    st.tid_order
+
+let pick_next st =
+  match ready_tids st with
+  | [] -> None
+  | ready ->
+      let tid =
+        match st.sched with
+        | Random_sched -> Rng.pick st.rng ready
+        | Round_robin ->
+            (* First ready tid at or after the cursor, wrapping. *)
+            let ge = List.filter (fun t -> t >= st.rr_cursor) ready in
+            (match ge with t :: _ -> t | [] -> List.hd ready)
+      in
+      st.rr_cursor <- tid + 1;
+      (match get_state st tid with
+      | Ready p -> Some (tid, p)
+      | Waiting _ | Done -> assert false)
+
+let do_crash st =
+  st.crashed <- true;
+  st.crashed_at_op <- Some st.ops;
+  let cs = Machine.crash st.machine ~strategy:st.cut in
+  cs.Px86.Crashstate.heap_break <- st.heap_break;
+  st.crash_state <- Some cs;
+  (* Tear down every thread; buffered work is lost. *)
+  let rec teardown () =
+    let victim =
+      List.find_opt
+        (fun tid -> match get_state st tid with Ready _ | Waiting _ -> true | Done -> false)
+        st.tid_order
+    in
+    match victim with
+    | None -> ()
+    | Some tid ->
+        (match get_state st tid with
+        | Ready p ->
+            set_state st tid Done;
+            p.p_abort ()
+        | Waiting w ->
+            set_state st tid Done;
+            w.w_abort ()
+        | Done -> ());
+        teardown ()
+  in
+  teardown ()
+
+let should_crash st kind =
+  match kind with
+  | Op_crash_req -> true
+  | Op_meta -> false
+  | Op_mem | Op_flushpt -> (
+      match st.plan with
+      | Run_to_end | Crash_at_end -> false
+      | Crash_before_op n -> st.ops = n
+      | Crash_before_flush n -> kind = Op_flushpt && st.flush_points = n)
+
+let sched_loop st =
+  let continue_loop = ref true in
+  while !continue_loop do
+    match pick_next st with
+    | None -> continue_loop := false
+    | Some (tid, p) ->
+        if should_crash st p.p_kind then do_crash st
+        else begin
+          (match p.p_kind with
+          | Op_mem -> st.ops <- st.ops + 1
+          | Op_flushpt ->
+              st.ops <- st.ops + 1;
+              st.flush_points <- st.flush_points + 1
+          | Op_meta | Op_crash_req -> ());
+          (* Mark running before resuming so a re-suspend can overwrite. *)
+          set_state st tid Done;
+          p.p_run ();
+          if not st.crashed then Machine.background st.machine
+        end
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
+    ?(cut = Machine.Cut_all) ?(sched = Round_robin) ?(seed = 0)
+    ?(check_candidates = true) ?observer:extra ~exec_id fn =
+  let rng = Rng.create seed in
+  let observer =
+    match detector with
+    | Some d ->
+        ignore (Yashme.Detector.begin_exec d ~id:exec_id);
+        Yashme.Detector.observer d
+    | None -> Px86.Observer.nop
+  in
+  let observer =
+    match extra with
+    | Some o -> Px86.Observer.combine observer o
+    | None -> observer
+  in
+  let machine =
+    Machine.create ?inherited ~exec_id
+      { Machine.sb_policy; rng = Rng.split rng; observer }
+  in
+  let heap_break =
+    match inherited with
+    | Some c -> c.Px86.Crashstate.heap_break
+    | None -> Px86.Addr.line_size
+  in
+  let st =
+    {
+      detector;
+      check_candidates;
+      machine;
+      cut;
+      plan;
+      sched;
+      rng;
+      exec_id;
+      threads = Hashtbl.create 8;
+      tid_order = [ 0 ];
+      next_tid = 1;
+      rr_cursor = 0;
+      heap_break;
+      validating = Hashtbl.create 4;
+      ops = 0;
+      flush_points = 0;
+      crashed = false;
+      crash_state = None;
+      crashed_at_op = None;
+      error = None;
+    }
+  in
+  set_state st 0
+    (Ready
+       {
+         p_kind = Op_meta;
+         p_run = (fun () -> start_thread st 0 fn);
+         p_abort = (fun () -> set_state st 0 Done);
+       });
+  sched_loop st;
+  (match st.error with Some e -> raise e | None -> ());
+  let state, outcome =
+    match st.crash_state with
+    | Some cs -> (cs, Crashed)
+    | None ->
+        let cs =
+          match plan with
+          | Crash_at_end -> Machine.crash machine ~strategy:cut
+          | Run_to_end | Crash_before_op _ | Crash_before_flush _ ->
+              Machine.shutdown machine
+        in
+        cs.Px86.Crashstate.heap_break <- st.heap_break;
+        (cs, Completed)
+  in
+  { outcome; state; ops = st.ops; flush_points = st.flush_points;
+    crashed_at_op = st.crashed_at_op }

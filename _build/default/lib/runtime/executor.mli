@@ -1,0 +1,60 @@
+(** Runs PM programs on the simulated machine, injecting crashes.
+
+    The executor is the Jaaru-equivalent driver: it schedules cooperative
+    threads (every {!Pmem} operation is a scheduling point), executes
+    their memory operations on a {!Px86.Machine.t}, consults the crash
+    plan before every instruction, and — when a detector is attached —
+    feeds post-crash loads to the Yashme algorithms, checking {e every}
+    candidate store a load could have read. *)
+
+(** When to crash the execution. *)
+type plan =
+  | Run_to_end  (** complete and shut down cleanly (all lines persisted) *)
+  | Crash_at_end  (** complete, then crash (buffers lost, cuts apply) *)
+  | Crash_before_op of int  (** crash before the n-th memory operation *)
+  | Crash_before_flush of int
+      (** crash immediately before the n-th flush/fence operation — the
+          model-checking mode's systematic crash points (paper, §6) *)
+
+type sched_policy =
+  | Round_robin
+  | Random_sched  (** uniform choice among runnable threads (random mode) *)
+
+type outcome = Completed | Crashed
+
+type result = {
+  outcome : outcome;
+  state : Px86.Crashstate.t;  (** durable memory after the run *)
+  ops : int;  (** memory operations executed (incl. flushes/fences) *)
+  flush_points : int;  (** flush/fence operations executed *)
+  crashed_at_op : int option;
+}
+
+(** [run ~exec_id fn] executes [fn] as thread 0.
+
+    @param detector attach a Yashme detector ([None] = bare Jaaru run)
+    @param inherited durable state from the previous execution of the
+      failure scenario
+    @param plan crash plan; default [Run_to_end]
+    @param sb_policy store-buffer drain policy; default [Eager]
+    @param cut how a crash materializes each line; default [Cut_all]
+    @param sched thread scheduling policy; default [Round_robin]
+    @param seed seed for all randomized choices; default 0
+    @param check_candidates also race-check the candidate stores a load
+      could have read, not just the committed one (Jaaru integration,
+      paper section 6); default true — disabling it is an ablation
+    @param observer an extra machine observer (e.g. a {!Px86.Trace}
+      recorder), combined with the detector's *)
+val run :
+  ?detector:Yashme.Detector.t ->
+  ?inherited:Px86.Crashstate.t ->
+  ?plan:plan ->
+  ?sb_policy:Px86.Machine.sb_policy ->
+  ?cut:Px86.Machine.cut_strategy ->
+  ?sched:sched_policy ->
+  ?seed:int ->
+  ?check_candidates:bool ->
+  ?observer:Px86.Observer.t ->
+  exec_id:int ->
+  (unit -> unit) ->
+  result

@@ -1,0 +1,1 @@
+lib/util/clockvec.ml: Format Int List Map

@@ -1,0 +1,1 @@
+lib/util/pretty.ml: Array List Printf String

@@ -1,0 +1,49 @@
+(* SplitMix64: tiny, fast, reproducible across OCaml versions (unlike
+   [Random], whose algorithm changed between releases). *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+let split t = { state = mix (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the conversion to a 63-bit native int never wraps
+     negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let chance t p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let shuffle t items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

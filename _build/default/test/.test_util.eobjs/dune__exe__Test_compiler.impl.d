@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Ir List Passes Pm_compiler Programs

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Executor Int64 List Pm_runtime Pmem Printf Px86 QCheck QCheck_alcotest String Yashme Yashme_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Executor List Pm_benchmarks Pm_harness Pm_runtime Pmem Px86 String Yashme Yashme_util

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Access Alcotest Crashstate List Machine Memimage Observer Px86 Yashme_util

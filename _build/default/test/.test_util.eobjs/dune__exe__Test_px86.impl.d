@@ -1,0 +1,1 @@
+test/test_px86.ml: Access Addr Alcotest Crashstate Event Flush_buffer Int64 List Machine Memimage Observer Persistence Printf Px86 QCheck QCheck_alcotest Reorder Store_buffer String Yashme_util

@@ -1,0 +1,1 @@
+test/test_px86.mli:

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Executor Int64 List Pm_runtime Pmem String

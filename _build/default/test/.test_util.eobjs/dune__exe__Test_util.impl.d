@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format List QCheck QCheck_alcotest String Yashme_util

@@ -1,0 +1,231 @@
+(* Tests for the store-optimization passes (Table 2a idioms) and the
+   Table 2b study programs. *)
+
+open Pm_compiler
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let store ?(volatile = false) addr size v =
+  Ir.Store { addr; size; value = Ir.Const v; volatile }
+
+let prog insts = { Ir.name = "t"; insts }
+
+let count_kind p f = List.length (List.filter f p.Ir.insts)
+let memsets p = count_kind p (function Ir.Memset _ -> true | _ -> false)
+let memcpys p = count_kind p (function Ir.Memcpy _ -> true | _ -> false)
+let memmoves p = count_kind p (function Ir.Memmove _ -> true | _ -> false)
+let stores p = count_kind p (function Ir.Store _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* memset idiom                                                         *)
+
+let test_memset_zero_run () =
+  let p = prog [ store 0 8 0L; store 8 8 0L; store 16 8 0L ] in
+  let p' = Passes.memset_idiom p in
+  check_int "one memset" 1 (memsets p');
+  check_int "no stores left" 0 (stores p');
+  match p'.Ir.insts with
+  | [ Ir.Memset { addr = 0; byte = 0; len = 24 } ] -> ()
+  | _ -> Alcotest.fail "wrong memset shape"
+
+let test_memset_repeated_byte () =
+  let p = prog [ store 0 8 0x4242424242424242L; store 8 4 0x42424242L ] in
+  let p' = Passes.memset_idiom p in
+  match p'.Ir.insts with
+  | [ Ir.Memset { byte = 0x42; len = 12; _ } ] -> ()
+  | _ -> Alcotest.fail "repeated-byte run not recognized"
+
+let test_memset_not_contiguous () =
+  let p = prog [ store 0 8 0L; store 16 8 0L ] in
+  check_int "gap blocks idiom" 0 (memsets (Passes.memset_idiom p))
+
+let test_memset_single_store_kept () =
+  let p = prog [ store 0 8 0L ] in
+  check_int "single store untouched" 1 (stores (Passes.memset_idiom p))
+
+let test_memset_volatile_blocked () =
+  let p = prog [ store 0 8 0L; Ir.Store { addr = 8; size = 8; value = Ir.Const 0L; volatile = true }; store 16 8 0L ] in
+  check_int "volatile splits the run" 0 (memsets (Passes.memset_idiom p))
+
+let test_memset_mixed_bytes_blocked () =
+  let p = prog [ store 0 8 0L; store 8 8 0x1111111111111111L ] in
+  check_int "different bytes do not merge" 0 (memsets (Passes.memset_idiom p))
+
+let test_memset_merge () =
+  let p =
+    prog
+      [ Ir.Memset { addr = 0; byte = 0; len = 16 };
+        Ir.Memset { addr = 16; byte = 0; len = 16 };
+        Ir.Memset { addr = 32; byte = 0; len = 8 } ]
+  in
+  match (Passes.memset_merge p).Ir.insts with
+  | [ Ir.Memset { addr = 0; byte = 0; len = 40 } ] -> ()
+  | _ -> Alcotest.fail "adjacent memsets should coalesce"
+
+let test_memset_merge_byte_mismatch () =
+  let p =
+    prog
+      [ Ir.Memset { addr = 0; byte = 0; len = 16 };
+        Ir.Memset { addr = 16; byte = 1; len = 16 } ]
+  in
+  check_int "byte mismatch keeps both" 2 (memsets (Passes.memset_merge p))
+
+(* ------------------------------------------------------------------ *)
+(* memcpy idiom                                                         *)
+
+let copy_pair t src dst size =
+  [ Ir.Load { dst = t; addr = src; size };
+    Ir.Store { addr = dst; size; value = Ir.Tmp t; volatile = false } ]
+
+let test_memcpy_run () =
+  let p = prog (copy_pair 0 100 0 8 @ copy_pair 1 108 8 8 @ copy_pair 2 116 16 8) in
+  let p' = Passes.memcpy_idiom p in
+  check_int "one memcpy" 1 (memcpys p');
+  match p'.Ir.insts with
+  | [ Ir.Memcpy { dst = 0; src = 100; len = 24 } ] -> ()
+  | _ -> Alcotest.fail "wrong memcpy shape"
+
+let test_memmove_on_overlap () =
+  let p = prog (copy_pair 0 0 4 8 @ copy_pair 1 8 12 8) in
+  let p' = Passes.memcpy_idiom p in
+  check_int "overlap -> memmove" 1 (memmoves p')
+
+let test_memcpy_single_pair_kept () =
+  let p = prog (copy_pair 0 100 0 8) in
+  let p' = Passes.memcpy_idiom p in
+  check_int "single pair untouched" 0 (memcpys p');
+  check_int "load+store preserved" 1 (stores p')
+
+(* ------------------------------------------------------------------ *)
+(* pair_wide_stores                                                     *)
+
+let test_pair_wide_stores () =
+  let p = prog [ store 0 8 0x1234567812345678L ] in
+  let p' = Passes.pair_wide_stores p in
+  check_int "two halves" 2 (stores p');
+  match p'.Ir.insts with
+  | [ Ir.Store { addr = 0; size = 4; value = Ir.Const lo; _ };
+      Ir.Store { addr = 4; size = 4; value = Ir.Const hi; _ } ] ->
+      Alcotest.(check int64) "low half" 0x12345678L lo;
+      Alcotest.(check int64) "high half" 0x12345678L hi
+  | _ -> Alcotest.fail "expected a store pair"
+
+let test_pair_skips_volatile_and_narrow () =
+  let p =
+    prog
+      [ Ir.Store { addr = 0; size = 8; value = Ir.Const 1L; volatile = true };
+        store 8 4 1L ]
+  in
+  check_int "untouched" 2 (stores (Passes.pair_wide_stores p))
+
+let test_invent_stores_under_pressure () =
+  let loads = List.init 6 (fun i -> Ir.Load { dst = i; addr = 100 + (8 * i); size = 8 }) in
+  let p = prog (loads @ [ store 0 8 1L ]) in
+  let p' = Passes.invent_stores ~pressure:4 p in
+  check_int "one invented store" 1 (Passes.invented_stores p');
+  (* The invented store lands on the same destination, before the real
+     one. *)
+  let rec find = function
+    | Ir.Store { addr = 0; value; _ } :: Ir.Store { addr = 0; value = Ir.Const 1L; _ } :: _
+      -> value = Ir.Tmp (-1)
+    | _ :: rest -> find rest
+    | [] -> false
+  in
+  check "spill precedes the real store" true (find p'.Ir.insts)
+
+let test_invent_stores_respects_volatile () =
+  let loads = List.init 6 (fun i -> Ir.Load { dst = i; addr = 100 + (8 * i); size = 8 }) in
+  let p =
+    prog (loads @ [ Ir.Store { addr = 0; size = 8; value = Ir.Const 1L; volatile = true } ])
+  in
+  check_int "no spill into volatile" 0 (Passes.invented_stores (Passes.invent_stores p))
+
+let test_invent_stores_low_pressure () =
+  let p = prog [ store 0 8 1L; store 8 8 2L ] in
+  check_int "no pressure, no spill" 0 (Passes.invented_stores (Passes.invent_stores p))
+
+(* ------------------------------------------------------------------ *)
+(* Catalog + study programs                                             *)
+
+let test_catalog_matches_table2a () =
+  check_int "four compiler/arch rows" 4 (List.length Passes.known_compilers);
+  let gcc_arm =
+    List.find
+      (fun (c : Passes.catalog) -> c.Passes.compiler = "gcc" && c.Passes.target = Passes.Arm64)
+      Passes.known_compilers
+  in
+  check "gcc/ARM64 pairs wide stores" true gcc_arm.Passes.pairs_wide_stores;
+  let gcc_x86 =
+    List.find
+      (fun (c : Passes.catalog) -> c.Passes.compiler = "gcc" && c.Passes.target = Passes.X86_64)
+      Passes.known_compilers
+  in
+  check "gcc/x86 does not merge zero stores" false gcc_x86.Passes.merges_zero_stores
+
+let test_table2b_counts () =
+  (* The paper's Table 2b, verbatim. *)
+  let expect = [ ("CCEH", 6, 33); ("Fast_Fair", 1, 4); ("P-ART", 17, 8);
+                 ("P-BwTree", 6, 15); ("P-CLHT", 0, 0); ("P-Masstree", 3, 14) ] in
+  List.iter
+    (fun (name, src, asm) ->
+      let p = Programs.find name in
+      let s, a = Programs.counts p in
+      check_int (name ^ " src ops") src s;
+      check_int (name ^ " asm ops") asm a)
+    expect
+
+let test_asm_exceeds_src_except_art_clht () =
+  List.iter
+    (fun (p : Ir.program) ->
+      let src, asm = Programs.counts p in
+      match p.Ir.name with
+      | "P-ART" -> check "P-ART shrinks" true (asm < src)
+      | "P-CLHT" -> check_int "P-CLHT untouched" 0 asm
+      | _ -> check (p.Ir.name ^ " grows") true (asm > src))
+    Programs.all
+
+let test_volatile_never_optimized () =
+  let p = Programs.find "P-CLHT" in
+  let before = Ir.plain_stores p in
+  check_int "no plain stores in P-CLHT" 0 before
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "memset",
+        [
+          Alcotest.test_case "zero run" `Quick test_memset_zero_run;
+          Alcotest.test_case "repeated byte" `Quick test_memset_repeated_byte;
+          Alcotest.test_case "gap blocks" `Quick test_memset_not_contiguous;
+          Alcotest.test_case "single kept" `Quick test_memset_single_store_kept;
+          Alcotest.test_case "volatile blocks" `Quick test_memset_volatile_blocked;
+          Alcotest.test_case "mixed bytes block" `Quick test_memset_mixed_bytes_blocked;
+          Alcotest.test_case "merge" `Quick test_memset_merge;
+          Alcotest.test_case "merge byte mismatch" `Quick test_memset_merge_byte_mismatch;
+        ] );
+      ( "memcpy",
+        [
+          Alcotest.test_case "run" `Quick test_memcpy_run;
+          Alcotest.test_case "overlap -> memmove" `Quick test_memmove_on_overlap;
+          Alcotest.test_case "single pair kept" `Quick test_memcpy_single_pair_kept;
+        ] );
+      ( "tearing",
+        [
+          Alcotest.test_case "pairs wide stores" `Quick test_pair_wide_stores;
+          Alcotest.test_case "skips volatile/narrow" `Quick test_pair_skips_volatile_and_narrow;
+        ] );
+      ( "store-inventing",
+        [
+          Alcotest.test_case "spill under pressure" `Quick test_invent_stores_under_pressure;
+          Alcotest.test_case "respects volatile" `Quick test_invent_stores_respects_volatile;
+          Alcotest.test_case "low pressure" `Quick test_invent_stores_low_pressure;
+        ] );
+      ( "study",
+        [
+          Alcotest.test_case "catalog (table 2a)" `Quick test_catalog_matches_table2a;
+          Alcotest.test_case "table 2b counts" `Quick test_table2b_counts;
+          Alcotest.test_case "growth shape" `Quick test_asm_exceeds_src_except_art_clht;
+          Alcotest.test_case "volatile untouched" `Quick test_volatile_never_optimized;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the crash-testing harness: flush-point counting, the
+   model-checking and random modes, report deduplication and benign
+   accounting. *)
+
+open Pm_runtime
+module Runner = Pm_harness.Runner
+module Report = Pm_harness.Report
+module Program = Pm_harness.Program
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A toy program with one racy field and one safe (atomic) field. *)
+let toy =
+  Program.make ~name:"toy"
+    ~setup:(fun () ->
+      let a = Pmem.alloc ~align:64 16 in
+      Pmem.set_root 0 a)
+    ~pre:(fun () ->
+      let a = Pmem.get_root 0 in
+      Pmem.store ~label:"racy" a 1L;
+      Pmem.store ~label:"safe" ~atomic:Px86.Access.Release (a + 8) 2L;
+      Pmem.clflush a;
+      Pmem.mfence ())
+    ~post:(fun () ->
+      let a = Pmem.get_root 0 in
+      ignore (Pmem.load a);
+      ignore (Pmem.load ~atomic:Px86.Access.Acquire (a + 8)))
+    ()
+
+let test_count_flush_points () =
+  (* pre has exactly clflush + mfence. *)
+  check_int "two flush points" 2 (Runner.count_flush_points toy)
+
+let test_model_check_toy () =
+  let r = Runner.model_check toy in
+  check_int "3 executions (2 points + at-end)" 3 r.Report.executions;
+  Alcotest.(check (list string)) "only the racy field" [ "racy" ]
+    (List.map (fun (f : Report.finding) -> f.Report.label) (Report.real r))
+
+let test_run_once_no_crash_no_post () =
+  (* A targeted plan beyond the program's flush points never fires: no
+     crash, no recovery, no races. *)
+  let d, pre, post = Runner.run_once ~plan:(Executor.Crash_before_flush 99) toy in
+  check "completed" true (pre.Executor.outcome = Executor.Completed);
+  check "no post" true (post = None);
+  check_int "no races" 0 (List.length (Yashme.Detector.races d))
+
+let test_random_mode_runs () =
+  let r = Runner.random_mode ~execs:5 toy in
+  check_int "five executions" 5 r.Report.executions;
+  check "finds the race eventually" true
+    (List.exists (fun (f : Report.finding) -> f.Report.label = "racy") r.Report.findings)
+
+let test_random_mode_deterministic () =
+  let a = Runner.random_mode ~execs:3 toy in
+  let b = Runner.random_mode ~execs:3 toy in
+  check_int "same raw count" a.Report.raw_races b.Report.raw_races
+
+let test_baseline_leq_prefix_on_suite () =
+  let opts mode = { Runner.default_options with mode } in
+  let p = Pm_benchmarks.Cceh.program in
+  let rp = Runner.model_check ~options:(opts Yashme.Detector.Prefix) p in
+  let rb = Runner.model_check ~options:(opts Yashme.Detector.Baseline) p in
+  check "baseline finds no more than prefix" true
+    (List.length (Report.real rb) <= List.length (Report.real rp))
+
+(* A recovery procedure with its own persistency race: the repair
+   marker is checked then set; only a crash inside the recovery (a
+   two-crash scenario) exposes it to the next recovery. *)
+let buggy_recovery =
+  Program.make ~name:"buggy-recovery"
+    ~setup:(fun () ->
+      let a = Pmem.alloc ~align:64 16 in
+      Pmem.set_root 0 a)
+    ~pre:(fun () ->
+      let a = Pmem.get_root 0 in
+      Pmem.store ~label:"data" a 1L;
+      Pmem.clflush a;
+      Pmem.mfence ())
+    ~post:(fun () ->
+      let a = Pmem.get_root 0 in
+      ignore (Pmem.load a);
+      if Pmem.load (a + 8) = 0L then begin
+        Pmem.store ~label:"repair-marker" (a + 8) 1L;
+        Pmem.clflush (a + 8);
+        Pmem.mfence ()
+      end)
+    ()
+
+let test_recovery_race_needs_two_crashes () =
+  let labels r =
+    List.map (fun (f : Report.finding) -> f.Report.label) (Report.real r)
+  in
+  let single = labels (Runner.model_check buggy_recovery) in
+  let double = labels (Runner.model_check_recovery buggy_recovery) in
+  check "single-crash misses the recovery race" false
+    (List.mem "repair-marker" single);
+  check "two-crash finds it" true (List.mem "repair-marker" double);
+  check "two-crash also finds the pre-crash race" true (List.mem "data" double)
+
+let test_recovery_mc_on_clean_recovery () =
+  (* The toy program's recovery only reads — it has no flush points, so
+     there are no two-crash scenarios to explore and nothing to report
+     (single-crash findings come from [model_check]). *)
+  let r = Runner.model_check_recovery toy in
+  check_int "no crashy-recovery executions" 0 r.Report.executions;
+  check_int "no findings" 0 (List.length r.Report.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Trace + witness                                                      *)
+
+let test_trace_records_commits () =
+  let trace, observer = Px86.Trace.recorder () in
+  let _ =
+    Executor.run ~observer ~exec_id:0 (fun () ->
+        let a = Pmem.alloc ~align:64 8 in
+        Pmem.store a 1L;
+        Pmem.clflush a;
+        Pmem.mfence ();
+        Pmem.store a 2L;
+        Pmem.clwb a;
+        Pmem.sfence ())
+  in
+  let entries = Px86.Trace.entries trace in
+  let count f = List.length (List.filter f entries) in
+  check_int "two stores" 2 (count (function Px86.Trace.Store _ -> true | _ -> false));
+  check_int "one clflush" 1 (count (function Px86.Trace.Clflush _ -> true | _ -> false));
+  check_int "one clwb applied" 1
+    (count (function Px86.Trace.Clwb_applied _ -> true | _ -> false))
+
+let test_trace_prefix_filter () =
+  let trace, observer = Px86.Trace.recorder () in
+  let _ =
+    Executor.run ~observer ~exec_id:0 (fun () ->
+        let a = Pmem.alloc ~align:64 16 in
+        Pmem.store a 1L;
+        Pmem.store (a + 8) 2L)
+  in
+  (* A CVpre covering only the first store's clock. *)
+  let cvpre = Yashme_util.Clockvec.of_list [ (0, 1) ] in
+  check_int "prefix stops at CVpre" 1 (List.length (Px86.Trace.prefix trace ~cvpre))
+
+let test_witness_renders () =
+  let detector, trace =
+    Runner.run_once_traced ~plan:Executor.Crash_at_end toy
+  in
+  match Yashme.Detector.races detector with
+  | [] -> Alcotest.fail "expected a race on the toy program"
+  | race :: _ ->
+      let w = Pm_harness.Witness.explain ~trace ~detector ~race in
+      check "mentions the racing field" true
+        (String.length w > 100
+        &&
+        let rec contains i =
+          i + 4 <= String.length w && (String.sub w i 4 = "racy" || contains (i + 1))
+        in
+        contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                               *)
+
+let mk_race ?(benign = false) label =
+  let store =
+    { Px86.Event.seq = 1; tid = 0; lclk = 1; cv = Yashme_util.Clockvec.empty; addr = 0;
+      size = 8; value = 0L; access = Px86.Access.Plain; nt = false; label = Some label }
+  in
+  { Yashme.Race.store; store_exec = 0; load_addr = 0; load_size = 8; load_tid = 0;
+    load_exec = 1; committed = true; benign }
+
+let test_dedup_by_label () =
+  let r =
+    Report.dedup ~program:"p" ~executions:1
+      [ mk_race "a"; mk_race "a"; mk_race "b" ]
+  in
+  check_int "two findings" 2 (List.length r.Report.findings);
+  check_int "raw count" 3 r.Report.raw_races;
+  let a = List.find (fun (f : Report.finding) -> f.Report.label = "a") r.Report.findings in
+  check_int "a seen twice" 2 a.Report.count
+
+let test_benign_only_if_all_benign () =
+  let r =
+    Report.dedup ~program:"p" ~executions:1
+      [ mk_race ~benign:true "a"; mk_race ~benign:false "a"; mk_race ~benign:true "b" ]
+  in
+  let find l = List.find (fun (f : Report.finding) -> f.Report.label = l) r.Report.findings in
+  check "mixed label is real" false (find "a").Report.benign;
+  check "all-benign label is benign" true (find "b").Report.benign;
+  check_int "real list" 1 (List.length (Report.real r));
+  check_int "benign list" 1 (List.length (Report.benign r))
+
+let test_report_renders () =
+  let r = Report.dedup ~program:"p" ~executions:2 [ mk_race "a" ] in
+  let s = Report.to_string r in
+  check "mentions program" true (String.length s > 0 && s.[0] = 'p')
+
+let test_unlabelled_dedup () =
+  let store =
+    { Px86.Event.seq = 1; tid = 0; lclk = 1; cv = Yashme_util.Clockvec.empty; addr = 4;
+      size = 8; value = 0L; access = Px86.Access.Plain; nt = false; label = None }
+  in
+  let race =
+    { Yashme.Race.store; store_exec = 0; load_addr = 4; load_size = 8; load_tid = 0;
+      load_exec = 1; committed = true; benign = false }
+  in
+  Alcotest.(check string) "unlabelled key" "<unlabelled>" (Yashme.Race.dedup_key race)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "count flush points" `Quick test_count_flush_points;
+          Alcotest.test_case "model check toy" `Quick test_model_check_toy;
+          Alcotest.test_case "plan misses -> no post" `Quick test_run_once_no_crash_no_post;
+          Alcotest.test_case "random mode" `Quick test_random_mode_runs;
+          Alcotest.test_case "random deterministic" `Quick test_random_mode_deterministic;
+          Alcotest.test_case "baseline <= prefix" `Quick test_baseline_leq_prefix_on_suite;
+        ] );
+      ( "multi-crash",
+        [
+          Alcotest.test_case "recovery race needs two crashes" `Slow
+            test_recovery_race_needs_two_crashes;
+          Alcotest.test_case "clean recovery" `Slow test_recovery_mc_on_clean_recovery;
+        ] );
+      ( "trace-witness",
+        [
+          Alcotest.test_case "trace records commits" `Quick test_trace_records_commits;
+          Alcotest.test_case "trace prefix filter" `Quick test_trace_prefix_filter;
+          Alcotest.test_case "witness renders" `Quick test_witness_renders;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "dedup by label" `Quick test_dedup_by_label;
+          Alcotest.test_case "benign accounting" `Quick test_benign_only_if_all_benign;
+          Alcotest.test_case "renders" `Quick test_report_renders;
+          Alcotest.test_case "unlabelled key" `Quick test_unlabelled_dedup;
+        ] );
+    ]

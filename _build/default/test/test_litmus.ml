@@ -1,0 +1,242 @@
+(* Litmus tests for the Px86 machine, in the style of the Raad et al.
+   formalization the paper builds on: small multi-threaded programs
+   whose allowed/forbidden outcomes pin down the TSO + persistency
+   semantics.
+
+   Volatile-memory litmus tests check outcomes across random
+   store-buffer drain schedules; persistency litmus tests check which
+   post-crash states are reachable across random crash cuts. *)
+
+module Rng = Yashme_util.Rng
+open Px86
+
+let check = Alcotest.(check bool)
+
+let machine ?(policy = Machine.Random_drain 0.4) seed =
+  Machine.create ~exec_id:0
+    { Machine.sb_policy = policy; rng = Rng.create seed; observer = Observer.nop }
+
+let plain = Access.Plain
+let rel = Access.Atomic Access.Release
+let acq = Access.Atomic Access.Acquire
+
+let store m ~tid ~addr v access =
+  Machine.store m ~tid ~addr ~size:8 ~value:v ~access ~label:None;
+  Machine.background m
+
+let load m ~tid ~addr access = fst (Machine.load m ~tid ~addr ~size:8 ~access)
+
+(* ------------------------------------------------------------------ *)
+(* Volatile TSO litmus tests                                            *)
+
+(* SB (store buffering): with buffered stores, both threads may read 0.
+   x86-TSO allows r1 = r2 = 0; our machine must be able to produce it. *)
+let test_sb_both_zero_possible () =
+  let m = machine ~policy:(Machine.Random_drain 0.0) 0 in
+  let x = 0 and y = 64 in
+  Machine.store m ~tid:0 ~addr:x ~size:8 ~value:1L ~access:plain ~label:None;
+  Machine.store m ~tid:1 ~addr:y ~size:8 ~value:1L ~access:plain ~label:None;
+  let r1 = load m ~tid:0 ~addr:y plain in
+  let r2 = load m ~tid:1 ~addr:x plain in
+  check "SB: 0/0 allowed under TSO" true (r1 = 0L && r2 = 0L)
+
+(* SB with mfence: forbidden to read 0/0. *)
+let test_sb_fenced_forbidden () =
+  let outcomes = ref [] in
+  for seed = 0 to 30 do
+    let m = machine seed in
+    let x = 0 and y = 64 in
+    Machine.store m ~tid:0 ~addr:x ~size:8 ~value:1L ~access:plain ~label:None;
+    Machine.mfence m ~tid:0;
+    Machine.store m ~tid:1 ~addr:y ~size:8 ~value:1L ~access:plain ~label:None;
+    Machine.mfence m ~tid:1;
+    let r1 = load m ~tid:0 ~addr:y plain in
+    let r2 = load m ~tid:1 ~addr:x plain in
+    outcomes := (r1, r2) :: !outcomes
+  done;
+  check "SB+mfence: 0/0 forbidden" false (List.mem (0L, 0L) !outcomes)
+
+(* Same-thread forwarding: a thread always sees its own latest store. *)
+let test_store_forwarding () =
+  for seed = 0 to 20 do
+    let m = machine seed in
+    Machine.store m ~tid:0 ~addr:0 ~size:8 ~value:1L ~access:plain ~label:None;
+    Machine.store m ~tid:0 ~addr:0 ~size:8 ~value:2L ~access:plain ~label:None;
+    check "forwarding" true (load m ~tid:0 ~addr:0 plain = 2L)
+  done
+
+(* MP (message passing) with release/acquire: observing the flag implies
+   observing the data. *)
+let test_mp_release_acquire () =
+  for seed = 0 to 40 do
+    let m = machine seed in
+    let data = 0 and flag = 64 in
+    store m ~tid:0 ~addr:data 1L plain;
+    store m ~tid:0 ~addr:flag 1L rel;
+    let f = load m ~tid:1 ~addr:flag acq in
+    let d = load m ~tid:1 ~addr:data plain in
+    if f = 1L then check "MP: flag implies data" true (d = 1L)
+  done
+
+(* TSO store order: another thread can never observe the second store
+   without the first (same-thread stores drain in order). *)
+let test_store_order_observed () =
+  for seed = 0 to 40 do
+    let m = machine seed in
+    let x = 0 and y = 64 in
+    Machine.store m ~tid:0 ~addr:x ~size:8 ~value:1L ~access:plain ~label:None;
+    Machine.store m ~tid:0 ~addr:y ~size:8 ~value:1L ~access:plain ~label:None;
+    Machine.background m;
+    let ry = load m ~tid:1 ~addr:y plain in
+    let rx = load m ~tid:1 ~addr:x plain in
+    if ry = 1L then check "no y-without-x" true (rx = 1L)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Persistency litmus tests (over random crash cuts)                    *)
+
+let crash_values ~seeds ~program ~addrs =
+  List.map
+    (fun seed ->
+      let m = machine ~policy:Machine.Eager seed in
+      program m;
+      let cs = Machine.crash m ~strategy:(Machine.Cut_random (Rng.create (seed * 7 + 1))) in
+      List.map (fun a -> Memimage.read cs.Crashstate.image ~addr:a ~size:8) addrs)
+    (List.init seeds (fun i -> i))
+
+(* Same-line persist ordering: y=1 persisted implies x=1 persisted when
+   x is stored first on the same cache line. *)
+let test_same_line_persist_order () =
+  let outcomes =
+    crash_values ~seeds:40
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        store m ~tid:0 ~addr:8 1L plain)
+      ~addrs:[ 0; 8 ]
+  in
+  check "no y-without-x on one line" false (List.mem [ 0L; 1L ] outcomes)
+
+(* Cross-line: y-without-x IS reachable (lines persist independently). *)
+let test_cross_line_reorder_possible () =
+  let outcomes =
+    crash_values ~seeds:60
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        store m ~tid:0 ~addr:64 1L plain)
+      ~addrs:[ 0; 64 ]
+  in
+  check "y-without-x reachable across lines" true (List.mem [ 0L; 1L ] outcomes)
+
+(* clflush ordering: x flushed before y stored; y persisted implies x
+   persisted (the flush is ordered). *)
+let test_clflush_then_store () =
+  let outcomes =
+    crash_values ~seeds:40
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        Machine.clflush m ~tid:0 ~addr:0;
+        Machine.background m;
+        store m ~tid:0 ~addr:64 1L plain)
+      ~addrs:[ 0; 64 ]
+  in
+  check "flushed x always present" false
+    (List.exists (function [ x; _ ] -> x = 0L | _ -> false) outcomes)
+
+(* clwb without fence guarantees nothing: x may be missing. *)
+let test_clwb_unfenced_weak () =
+  let outcomes =
+    crash_values ~seeds:60
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        Machine.clwb m ~tid:0 ~addr:0;
+        Machine.background m)
+      ~addrs:[ 0 ]
+  in
+  check "unfenced clwb may lose the store" true (List.mem [ 0L ] outcomes)
+
+(* clwb + sfence: x always persisted. *)
+let test_clwb_fenced_strong () =
+  let outcomes =
+    crash_values ~seeds:40
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        Machine.clwb m ~tid:0 ~addr:0;
+        Machine.sfence m ~tid:0;
+        Machine.background m)
+      ~addrs:[ 0 ]
+  in
+  check "fenced clwb always persists" false (List.mem [ 0L ] outcomes)
+
+(* movnt + sfence persists without any flush; unfenced movnt may not. *)
+let test_movnt_persistency () =
+  let fenced =
+    crash_values ~seeds:40
+      ~program:(fun m ->
+        Machine.store ~nt:true m ~tid:0 ~addr:0 ~size:8 ~value:1L ~access:plain
+          ~label:None;
+        Machine.background m;
+        Machine.sfence m ~tid:0;
+        Machine.background m)
+      ~addrs:[ 0 ]
+  in
+  check "fenced movnt persists" false (List.mem [ 0L ] fenced);
+  let unfenced =
+    crash_values ~seeds:60
+      ~program:(fun m ->
+        Machine.store ~nt:true m ~tid:0 ~addr:0 ~size:8 ~value:1L ~access:plain
+          ~label:None;
+        Machine.background m)
+      ~addrs:[ 0 ]
+  in
+  check "unfenced movnt may be lost" true (List.mem [ 0L ] unfenced)
+
+(* Store-buffered stores NEVER survive a crash (the buffer is volatile). *)
+let test_buffered_stores_lost () =
+  for seed = 0 to 20 do
+    let m = machine ~policy:(Machine.Random_drain 0.0) seed in
+    Machine.store m ~tid:0 ~addr:0 ~size:8 ~value:1L ~access:plain ~label:None;
+    let cs = Machine.crash m ~strategy:Machine.Cut_all in
+    check "buffered store lost" true
+      (Memimage.read cs.Crashstate.image ~addr:0 ~size:8 = 0L)
+  done
+
+(* Epoch ordering across a fence with explicit flush: x flushed+fenced
+   before y stored means persist(y) implies persist(x). *)
+let test_epoch_ordering () =
+  let outcomes =
+    crash_values ~seeds:40
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        Machine.clwb m ~tid:0 ~addr:0;
+        Machine.sfence m ~tid:0;
+        Machine.background m;
+        store m ~tid:0 ~addr:64 1L plain)
+      ~addrs:[ 0; 64 ]
+  in
+  check "epoch: y implies x" false
+    (List.exists (function [ x; y ] -> x = 0L && y = 1L | _ -> false) outcomes)
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ( "tso-volatile",
+        [
+          Alcotest.test_case "SB both-zero possible" `Quick test_sb_both_zero_possible;
+          Alcotest.test_case "SB fenced forbidden" `Quick test_sb_fenced_forbidden;
+          Alcotest.test_case "store forwarding" `Quick test_store_forwarding;
+          Alcotest.test_case "MP release/acquire" `Quick test_mp_release_acquire;
+          Alcotest.test_case "store order observed" `Quick test_store_order_observed;
+        ] );
+      ( "persistency",
+        [
+          Alcotest.test_case "same-line persist order" `Quick test_same_line_persist_order;
+          Alcotest.test_case "cross-line reorder possible" `Quick
+            test_cross_line_reorder_possible;
+          Alcotest.test_case "clflush then store" `Quick test_clflush_then_store;
+          Alcotest.test_case "clwb unfenced weak" `Quick test_clwb_unfenced_weak;
+          Alcotest.test_case "clwb fenced strong" `Quick test_clwb_fenced_strong;
+          Alcotest.test_case "movnt persistency" `Quick test_movnt_persistency;
+          Alcotest.test_case "buffered stores lost" `Quick test_buffered_stores_lost;
+          Alcotest.test_case "epoch ordering" `Quick test_epoch_ordering;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* An independent brute-force oracle for Theorem 1 (single-threaded,
+   straight-line programs), checked against the detector on random
+   programs.
+
+   The oracle evaluates the four conditions of Theorem 1 directly on the
+   operation list:
+
+     a committed post-crash read of slot x from plain store s races iff
+       (2) no atomic release store s' to the same cache line with
+           pos(s) < pos(s') was read by the post-crash execution before
+           x was read, and
+       (3) no clflush f to s's line with pos(s) < pos(f) is followed
+           (pos(f) < pos(s')) by a store s' the post-crash execution had
+           already read, and
+       (4) same as (3) for clwb + later fence.
+
+   Slots 0,1 share cache line A and slots 2,3 share line B, so the
+   coherence condition is exercised.  The crash is at program end and
+   the post-crash execution reads the slots in a random order. *)
+
+open Pm_runtime
+module Detector = Yashme.Detector
+module Race = Yashme.Race
+
+type op =
+  | Ostore of { slot : int; atomic : bool }
+  | Ostore_nt of int  (* non-temporal store to a slot *)
+  | Oclflush of int  (* slot whose line is flushed *)
+  | Oclwb of int
+  | Ofence
+
+let pp_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Ostore { slot; atomic } ->
+             Printf.sprintf "st%d%s" slot (if atomic then "!" else "")
+         | Ostore_nt s -> Printf.sprintf "nt%d" s
+         | Oclflush s -> Printf.sprintf "clf%d" s
+         | Oclwb s -> Printf.sprintf "clwb%d" s
+         | Ofence -> "fence")
+       ops)
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 20)
+      (frequency
+         [
+           (5, map2 (fun slot atomic -> Ostore { slot; atomic }) (int_bound 3) bool);
+           (2, map (fun s -> Ostore_nt s) (int_bound 3));
+           (2, map (fun s -> Oclflush s) (int_bound 3));
+           (2, map (fun s -> Oclwb s) (int_bound 3));
+           (2, return Ofence);
+         ]))
+
+let gen_case = QCheck.Gen.(pair gen_ops (map (fun r -> Yashme_util.Rng.create r) nat))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (ops, _) -> pp_ops ops)
+    gen_case
+
+(* Slot layout: two slots per 64-byte line. *)
+let slot_offset slot = (slot / 2 * 64) + (slot mod 2 * 8)
+let slot_line slot = slot / 2
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                               *)
+
+type store_ev = {
+  s_slot : int;
+  s_atomic : bool;
+  s_pos : int;
+  s_nt_fence : int option;  (* movnt: position of the fence persisting it *)
+}
+
+(* Condition (3)/(4): the store must happen before the flush instruction
+   itself ([f_issue]), while the already-observed store must come after
+   the event that makes the flush durable ([f_eff]: the clflush itself,
+   or the fence following a clwb). *)
+type flush_ev = { f_line : int; f_issue : int; f_eff : int }
+
+type ev = Estore of store_ev | Eflush of flush_ev
+
+let oracle ops read_order =
+  (* Effective flush positions: clflush at its own position; clwb at its
+     position, provided a later fence exists (condition 4's fence is the
+     event that must precede an observed store — we use the fence
+     position for it). *)
+  let evs = ref [] in
+  List.iteri
+    (fun pos op ->
+      match op with
+      | Ostore { slot; atomic } ->
+          evs :=
+            Estore { s_slot = slot; s_atomic = atomic; s_pos = pos; s_nt_fence = None }
+            :: !evs
+      | Ostore_nt slot ->
+          let rec next_fence i = function
+            | [] -> None
+            | Ofence :: _ when i > pos -> Some i
+            | _ :: rest -> next_fence (i + 1) rest
+          in
+          evs :=
+            Estore
+              { s_slot = slot; s_atomic = false; s_pos = pos;
+                s_nt_fence = next_fence 0 ops }
+            :: !evs
+      | Oclflush s ->
+          evs := Eflush { f_line = slot_line s; f_issue = pos; f_eff = pos } :: !evs
+      | Oclwb s ->
+          (* Find the next fence after this clwb. *)
+          let rec next_fence i = function
+            | [] -> None
+            | Ofence :: _ when i > pos -> Some i
+            | _ :: rest -> next_fence (i + 1) rest
+          in
+          (match next_fence 0 ops with
+          | Some fpos ->
+              evs := Eflush { f_line = slot_line s; f_issue = pos; f_eff = fpos } :: !evs
+          | None -> ())
+      | Ofence -> ())
+    ops;
+  let evs = List.rev !evs in
+  let latest_store slot =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Estore s -> if s.s_slot = slot then Some s else acc
+        | Eflush _ -> acc)
+      None evs
+  in
+  (* Walk the post-crash reads in order, accumulating what was read. *)
+  let races = ref [] in
+  let read_before : store_ev list ref = ref [] in
+  List.iter
+    (fun slot ->
+      (match latest_store slot with
+      | None -> ()
+      | Some s when s.s_atomic -> ()
+      | Some s ->
+          let covered_by_atomic =
+            List.exists
+              (fun s' ->
+                s'.s_atomic
+                && slot_line s'.s_slot = slot_line s.s_slot
+                && s'.s_pos > s.s_pos)
+              !read_before
+          in
+          let flush_observed =
+            List.exists
+              (fun e ->
+                match e with
+                | Eflush f ->
+                    f.f_line = slot_line s.s_slot
+                    && f.f_issue > s.s_pos
+                    && List.exists (fun s' -> s'.s_pos > f.f_eff) !read_before
+                | Estore _ -> false)
+              evs
+          in
+          (* A fenced movnt store persists itself: covered once the
+             post-crash execution observed anything after the fence. *)
+          let nt_persisted =
+            match s.s_nt_fence with
+            | None -> false
+            | Some k -> List.exists (fun s' -> s'.s_pos > k) !read_before
+          in
+          if not (covered_by_atomic || flush_observed || nt_persisted) then
+            races := slot :: !races);
+      (* Record what this read observed (committed read = latest store). *)
+      match latest_store slot with
+      | Some s -> read_before := s :: !read_before
+      | None -> ())
+    read_order;
+  List.sort_uniq compare !races
+
+(* ------------------------------------------------------------------ *)
+(* Run the same program through the real pipeline.                      *)
+
+let detector_races ops read_order =
+  let d = Detector.create ~mode:Detector.Prefix () in
+  let pre () =
+    let base = Pmem.alloc ~align:64 128 in
+    Pmem.set_root 0 base;
+    List.iter
+      (fun op ->
+        match op with
+        | Ostore { slot; atomic } ->
+            let addr = base + slot_offset slot in
+            if atomic then
+              Pmem.store ~label:(string_of_int slot) ~atomic:Px86.Access.Release addr 1L
+            else Pmem.store ~label:(string_of_int slot) addr 1L
+        | Ostore_nt slot ->
+            Pmem.store ~label:(string_of_int slot) ~nt:true (base + slot_offset slot) 1L
+        | Oclflush s -> Pmem.clflush (base + slot_offset s)
+        | Oclwb s -> Pmem.clwb (base + slot_offset s)
+        | Ofence -> Pmem.sfence ())
+      ops
+  in
+  let post () =
+    let base = Pmem.get_root 0 in
+    List.iter
+      (fun slot -> ignore (Pmem.load ~atomic:Px86.Access.Acquire (base + slot_offset slot)))
+      read_order
+  in
+  let r1 = Executor.run ~detector:d ~plan:Executor.Crash_at_end ~exec_id:0 pre in
+  let _ = Executor.run ~detector:d ~inherited:r1.Executor.state ~exec_id:1 post in
+  Detector.races d
+  |> List.filter_map (fun (r : Race.t) ->
+         if r.Race.committed then Some (int_of_string (Race.label r)) else None)
+  |> List.sort_uniq compare
+
+let prop_matches_oracle =
+  QCheck.Test.make ~name:"detector matches the Theorem-1 oracle" ~count:400 arb_case
+    (fun (ops, rng) ->
+      let read_order = Yashme_util.Rng.shuffle rng [ 0; 1; 2; 3 ] in
+      let expected = oracle ops read_order in
+      let got = detector_races ops read_order in
+      if expected <> got then
+        QCheck.Test.fail_reportf "ops=%s reads=%s oracle=%s detector=%s" (pp_ops ops)
+          (String.concat "," (List.map string_of_int read_order))
+          (String.concat "," (List.map string_of_int expected))
+          (String.concat "," (List.map string_of_int got))
+      else true)
+
+(* eADR findings are a subset of non-eADR findings (section 7.5). *)
+let races_with ~eadr ops read_order =
+  let d = Detector.create ~eadr () in
+  let pre () =
+    let base = Pmem.alloc ~align:64 128 in
+    Pmem.set_root 0 base;
+    List.iter
+      (fun op ->
+        match op with
+        | Ostore { slot; atomic } ->
+            let addr = base + slot_offset slot in
+            if atomic then
+              Pmem.store ~label:(string_of_int slot) ~atomic:Px86.Access.Release addr 1L
+            else Pmem.store ~label:(string_of_int slot) addr 1L
+        | Ostore_nt slot ->
+            Pmem.store ~label:(string_of_int slot) ~nt:true (base + slot_offset slot) 1L
+        | Oclflush s -> Pmem.clflush (base + slot_offset s)
+        | Oclwb s -> Pmem.clwb (base + slot_offset s)
+        | Ofence -> Pmem.sfence ())
+      ops
+  in
+  let post () =
+    let base = Pmem.get_root 0 in
+    List.iter (fun slot -> ignore (Pmem.load (base + slot_offset slot))) read_order
+  in
+  let r1 = Executor.run ~detector:d ~plan:Executor.Crash_at_end ~exec_id:0 pre in
+  let _ = Executor.run ~detector:d ~inherited:r1.Executor.state ~exec_id:1 post in
+  List.sort_uniq compare (List.map Race.label (Detector.races d))
+
+let prop_eadr_subset =
+  QCheck.Test.make ~name:"eADR findings are a subset of non-eADR findings" ~count:200
+    arb_case (fun (ops, rng) ->
+      let read_order = Yashme_util.Rng.shuffle rng [ 0; 1; 2; 3 ] in
+      let eadr = races_with ~eadr:true ops read_order in
+      let full = races_with ~eadr:false ops read_order in
+      List.for_all (fun l -> List.mem l full) eadr)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "theorem-1",
+        List.map QCheck_alcotest.to_alcotest [ prop_matches_oracle; prop_eadr_subset ] );
+    ]
