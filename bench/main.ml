@@ -143,10 +143,11 @@ let table4 () =
 (* ------------------------------------------------------------------ *)
 (* Table 5                                                              *)
 
+(* Wall clock, not [Sys.time]: CPU time misreports parallel engine runs. *)
 let time_s f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let x = f () in
-  (x, Sys.time () -. t0)
+  (x, Unix.gettimeofday () -. t0)
 
 let table5 () =
   section "Table 5: prefix vs baseline (single random execution) + runtimes";
@@ -190,6 +191,62 @@ let table5 () =
   done;
   Printf.printf "10-seed sweep: prefix %d vs baseline %d (%.1fx more)\n" !sp !sb
     (if !sb = 0 then Float.infinity else float_of_int !sp /. float_of_int !sb)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration engine throughput                                        *)
+
+module Engine = Pm_harness.Engine
+
+(* Model-check a few multi-flush-point benchmarks through the engine at
+   jobs=1 and jobs=N and report scenario/execution/op throughput, plus
+   one machine-readable JSON line per benchmark (the driver consuming
+   the bench output parses these). *)
+let engine_throughput ~jobs () =
+  section
+    (Printf.sprintf "Exploration engine throughput (model checking, jobs=%d)"
+       jobs);
+  let programs =
+    [ Pm_benchmarks.Cceh.program; Pm_benchmarks.Fast_fair.program;
+      Pm_benchmarks.Memcached.program ]
+  in
+  let measured =
+    List.map
+      (fun (p : Pm_harness.Program.t) ->
+        let _, s1 = Runner.model_check_run ~jobs:1 p in
+        let _, sn = Runner.model_check_run ~jobs p in
+        (p.Pm_harness.Program.name, s1, sn))
+      programs
+  in
+  let rows =
+    List.map
+      (fun (name, (s1 : Engine.stats), (sn : Engine.stats)) ->
+        [ name; string_of_int sn.Engine.scenarios;
+          string_of_int sn.Engine.executions; string_of_int sn.Engine.ops;
+          Printf.sprintf "%.4fs" s1.Engine.elapsed_s;
+          Printf.sprintf "%.4fs" sn.Engine.elapsed_s;
+          Printf.sprintf "%.2fx" (s1.Engine.elapsed_s /. sn.Engine.elapsed_s);
+          Printf.sprintf "%.0f" (float_of_int sn.Engine.ops /. sn.Engine.elapsed_s) ])
+      measured
+  in
+  print_endline
+    (Pretty.table
+       ~header:
+         [ "Benchmark"; "scenarios"; "execs"; "ops"; "jobs=1";
+           Printf.sprintf "jobs=%d" jobs; "speedup"; "ops/s" ]
+       rows);
+  print_endline "engine-throughput JSON:";
+  List.iter
+    (fun (name, (s1 : Engine.stats), (sn : Engine.stats)) ->
+      Printf.printf
+        "{\"bench\":%S,\"jobs\":%d,\"scenarios\":%d,\"executions\":%d,\"ops\":%d,\
+         \"elapsed_s_jobs1\":%.6f,\"elapsed_s\":%.6f,\"speedup\":%.3f,\
+         \"ops_per_s\":%.1f,\"cpu_s\":%.6f}\n"
+        name sn.Engine.jobs sn.Engine.scenarios sn.Engine.executions
+        sn.Engine.ops s1.Engine.elapsed_s sn.Engine.elapsed_s
+        (s1.Engine.elapsed_s /. sn.Engine.elapsed_s)
+        (float_of_int sn.Engine.ops /. sn.Engine.elapsed_s)
+        sn.Engine.cpu_s)
+    measured
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out                    *)
@@ -396,6 +453,16 @@ let bechamel_suite () =
 
 (* ------------------------------------------------------------------ *)
 
+(* [--jobs N] sizes the engine's domain pool for the throughput section
+   (default 4, the evaluation's comparison point). *)
+let jobs_arg =
+  let rec scan = function
+    | "--jobs" :: n :: _ -> ( try int_of_string n with Failure _ -> 4)
+    | _ :: rest -> scan rest
+    | [] -> 4
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   print_endline "Yashme reproduction benchmark harness";
   print_endline "(shapes, not absolute numbers, are the target; see EXPERIMENTS.md)";
@@ -406,6 +473,7 @@ let () =
   let t3 = table3 () in
   let t4 = table4 () in
   table5 ();
+  engine_throughput ~jobs:jobs_arg ();
   ablations ();
   bechamel_suite ();
   section "Summary";

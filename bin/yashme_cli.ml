@@ -36,6 +36,12 @@ let execs =
   let doc = "Number of random executions in --mode random." in
   Arg.(value & opt int 20 & info [ "execs" ] ~doc)
 
+let jobs =
+  let doc = "Worker domains for the exploration engine.  Each crash plan is an \
+             independent failure scenario; $(docv) > 1 spreads them over OCaml \
+             domains.  The race report is identical for every job count." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
 let seed =
   let doc = "Random seed (schedules, crash points, cache cuts)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
@@ -61,11 +67,11 @@ let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false) mod
     mode; seed; eadr; coherence = not no_coherence;
     check_candidates = not no_candidates }
 
-let report_program run_mode opts execs (p : Pm_harness.Program.t) =
+let report_program run_mode opts ~jobs execs (p : Pm_harness.Program.t) =
   match run_mode with
-  | `Mc -> Pm_harness.Runner.model_check ~options:opts p
-  | `Mc_recovery -> Pm_harness.Runner.model_check_recovery ~options:opts p
-  | `Random -> Pm_harness.Runner.random_mode ~options:opts ~execs p
+  | `Mc -> Pm_harness.Runner.model_check ~options:opts ~jobs p
+  | `Mc_recovery -> Pm_harness.Runner.model_check_recovery ~options:opts ~jobs p
+  | `Random -> Pm_harness.Runner.random_mode ~options:opts ~jobs ~execs p
 
 let print_report show_benign (r : Pm_harness.Report.t) =
   if show_benign then print_endline (Pm_harness.Report.to_string r)
@@ -95,7 +101,8 @@ let check_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
            ~doc:"Benchmark name (see $(b,yashme list)).")
   in
-  let run bench run_mode dmode execs seed show_benign eadr no_coherence no_candidates =
+  let run bench run_mode dmode execs jobs seed show_benign eadr no_coherence
+      no_candidates =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
@@ -103,13 +110,13 @@ let check_cmd =
     | p ->
         let r =
           report_program run_mode (options ~eadr ~no_coherence ~no_candidates dmode seed)
-            execs p
+            ~jobs execs p
         in
         print_report show_benign r
   in
   let term =
     Term.(
-      const run $ bench $ run_mode $ detector_mode $ execs $ seed $ show_benign
+      const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
       $ eadr_flag $ no_coherence $ no_candidates)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
@@ -147,11 +154,11 @@ let witness_cmd =
     term
 
 let check_all_cmd =
-  let run run_mode dmode execs seed show_benign =
+  let run run_mode dmode execs jobs seed show_benign =
     let total = ref 0 in
     List.iter
       (fun p ->
-        let r = report_program run_mode (options dmode seed) execs p in
+        let r = report_program run_mode (options dmode seed) ~jobs execs p in
         total := !total + List.length (Pm_harness.Report.real r);
         print_report show_benign r;
         print_newline ())
@@ -159,7 +166,7 @@ let check_all_cmd =
     Printf.printf "total distinct persistency races: %d\n" !total
   in
   let term =
-    Term.(const run $ run_mode $ detector_mode $ execs $ seed $ show_benign)
+    Term.(const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
 

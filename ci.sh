@@ -1,0 +1,26 @@
+#!/bin/sh
+# Minimal CI for the Yashme reproduction.
+#
+#   ./ci.sh          build, (optionally) check formatting, run the tests
+#
+# The formatting gate only runs when ocamlformat is installed: dune's
+# @fmt alias shells out to it, so on images without ocamlformat the
+# step is skipped rather than failing the whole pipeline.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build @all
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt (ocamlformat $(ocamlformat --version))"
+  dune build @fmt
+else
+  echo "== skip formatting check (ocamlformat not installed)"
+fi
+
+echo "== dune runtest"
+dune runtest
+
+echo "CI OK"

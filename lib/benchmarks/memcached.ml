@@ -38,21 +38,37 @@ let item_addr slab j = slab + 64 + (j * item_bytes)
 let small_cap = 8
 let class_of_size n = if n <= small_cap then 0 else 1
 
-(* Volatile LRU clock (memcached keeps LRU state in DRAM). *)
-let lru_tick = ref 0
-let lru : (Px86.Addr.t, int) Hashtbl.t = Hashtbl.create 16
+(* Volatile DRAM state: the LRU clock (memcached keeps LRU state in
+   DRAM) and the global cas counter.  Domain-local so failure scenarios
+   explored concurrently on separate domains cannot observe each other's
+   volatile state; [startup] resets it, making every scenario
+   self-contained and deterministic regardless of exploration order. *)
+type volatile = {
+  lru : (Px86.Addr.t, int) Hashtbl.t;
+  mutable lru_tick : int;
+  mutable global_cas : int;
+}
+
+let volatile_key =
+  Domain.DLS.new_key (fun () ->
+      { lru = Hashtbl.create 16; lru_tick = 0; global_cas = 0 })
+
+let volatile () = Domain.DLS.get volatile_key
 
 let touch it =
-  incr lru_tick;
-  Hashtbl.replace lru it !lru_tick
+  let v = volatile () in
+  v.lru_tick <- v.lru_tick + 1;
+  Hashtbl.replace v.lru it v.lru_tick
 
 (* Server startup formats the pool.  [valid] and the slab [id] bytes are
    plain stores whose flushes trail far behind — the wide windows behind
    races #2 and #3. *)
 let startup () =
   (* Volatile state resets with the process. *)
-  Hashtbl.reset lru;
-  lru_tick := 0;
+  let v = volatile () in
+  Hashtbl.reset v.lru;
+  v.lru_tick <- 0;
+  v.global_cas <- 0;
   let t = Pmem.alloc ~align:64 (32 + (8 * slab_count)) in
   (* The pool mapping is published before formatting (the real server
      knows the pool by file, not by a pointer written after format). *)
@@ -110,7 +126,7 @@ let allocate_slot t ~cls ~key =
           let victim =
             List.fold_left
               (fun best it ->
-                let tick = Option.value ~default:0 (Hashtbl.find_opt lru it) in
+                let tick = Option.value ~default:0 (Hashtbl.find_opt (volatile ()).lru it) in
                 match best with
                 | Some (_, bt) when bt <= tick -> best
                 | _ -> Some (it, tick))
@@ -118,15 +134,14 @@ let allocate_slot t ~cls ~key =
           in
           (match victim with Some (it, _) -> it | None -> List.hd slots))
 
-let global_cas = ref 0
-
 let set t ~key ~value =
   assert (String.length value <= data_cap);
   let it = allocate_slot t ~cls:(class_of_size (String.length value)) ~key in
   touch it;
-  incr global_cas;
+  let v = volatile () in
+  v.global_cas <- v.global_cas + 1;
   Pmem.store ~label:label_it_flags ~size:1 it it_linked;
-  Pmem.store ~label:label_cas (it + 8) (Int64.of_int !global_cas);
+  Pmem.store ~label:label_cas (it + 8) (Int64.of_int v.global_cas);
   Pmem.store ~label:label_data (it + 16) (Int64.of_int key);
   Pmem.store ~label:label_data (it + 24) (Int64.of_int (String.length value));
   (* The payload goes through libpmem's movnt path (pmem_memcpy). *)
@@ -183,7 +198,7 @@ let delete t ~key =
   | Some it ->
       Pmem.store ~label:label_it_flags ~size:1 it 0L;
       Pmem.persist it 8;
-      Hashtbl.remove lru it
+      Hashtbl.remove (volatile ()).lru it
 
 (* The `stats' command: sweep the slabs counting linked items. *)
 let stats t =

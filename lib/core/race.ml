@@ -14,6 +14,13 @@ let label t =
 
 let dedup_key t = label t
 
+(* Races from independently explored failure scenarios carry no global
+   order of their own; downstream deduplication picks the first
+   observation of each key as the exemplar and folds benignity in
+   encounter order.  Merging in scenario order therefore makes a
+   parallel exploration byte-identical to the sequential one. *)
+let merge_ordered groups = List.concat groups
+
 let pp ppf t =
   Format.fprintf ppf
     "persistency race on %s: non-atomic %a races with crash (exec %d); observed by \

@@ -23,5 +23,13 @@ val label : t -> string
     (the paper deduplicates manually at this granularity). *)
 val dedup_key : t -> string
 
+(** Merge per-scenario race lists into one list, preserving scenario
+    order and, within a scenario, report order.  This is the merge the
+    exploration engine uses: because deduplication keeps the first
+    observation of each key as its exemplar, an engine that merges in
+    scenario order produces output byte-identical to a sequential run,
+    regardless of the order scenarios actually finished in. *)
+val merge_ordered : t list list -> t list
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,226 @@
+module Executor = Pm_runtime.Executor
+
+(* Execution ids within one failure scenario: the setup phase is not
+   registered with the detector (its data is trusted after a clean
+   shutdown); pre-crash is 1, first recovery is 2, a second recovery
+   (two-crash scenarios) is 3. *)
+let setup_exec = 0
+let pre_exec = 1
+let post_exec = 2
+
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Setup memoization                                                    *)
+
+let run_setup (opts : Scenario.options) (p : Program.t) =
+  match p.Program.setup with
+  | None -> None
+  | Some setup ->
+      let r =
+        Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.Scenario.sb_policy
+          ~seed:opts.Scenario.seed ~exec_id:setup_exec setup
+      in
+      Some r.Executor.state
+
+let materialize_setup ~(options : Scenario.options) (p : Program.t) =
+  match p.Program.setup with
+  | None -> Scenario.No_setup
+  | Some fn -> (
+      match options.Scenario.sb_policy with
+      | Px86.Machine.Eager -> (
+          (* Eager drain makes the setup run deterministic and
+             seed-independent: one snapshot serves every scenario. *)
+          match run_setup options p with
+          | None -> Scenario.No_setup
+          | Some cs -> Scenario.Snapshot cs)
+      | Px86.Machine.Random_drain _ ->
+          (* The drained state depends on the scenario seed; each
+             scenario re-runs the setup with its own options. *)
+          Scenario.Run_setup fn)
+
+(* ------------------------------------------------------------------ *)
+(* Phase execution                                                      *)
+
+(* Every phase of a scenario funnels through here so pre-crash runs,
+   recovery runs and crashed-recovery runs share one code path. *)
+let run_phase ?detector ?observer ?inherited ~(options : Scenario.options) ~plan
+    ~seed ~exec_id body =
+  Executor.run ?detector ?observer ?inherited ~plan
+    ~sb_policy:options.Scenario.sb_policy ~cut:options.Scenario.cut
+    ~sched:options.Scenario.sched ~seed
+    ~check_candidates:options.Scenario.check_candidates ~exec_id body
+
+(* The one recovery path: every post-crash [Executor.run] in the
+   harness goes through this helper. *)
+let run_recovery ?detector ?observer ~options ~inherited ~seed ~exec_id post =
+  run_phase ?detector ?observer ~inherited ~options ~plan:Executor.Run_to_end
+    ~seed ~exec_id post
+
+(* Did the crash plan of this run actually fire?  [Crash_at_end]
+   completes and then crashes; targeted plans that never fired leave a
+   cleanly shut-down state with no crash. *)
+let crash_fired ~plan (r : Executor.result) =
+  match r.Executor.outcome with
+  | Executor.Crashed -> true
+  | Executor.Completed -> (
+      match plan with
+      | Executor.Crash_at_end -> true
+      | Executor.Run_to_end | Executor.Crash_before_op _
+      | Executor.Crash_before_flush _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario execution                                                   *)
+
+type scenario_result = {
+  label : string;
+  races : Yashme.Race.t list;
+  chain_crashed : bool;
+  executions : int;
+  ops : int;
+  flush_points : int;
+  post_flush_points : int option;
+  wall_s : float;
+}
+
+let run_scenario (s : Scenario.t) =
+  let open Scenario in
+  let t0 = now () in
+  let opts = s.options in
+  let execs = ref 0 and ops = ref 0 in
+  let count (r : Executor.result) =
+    incr execs;
+    ops := !ops + r.Executor.ops;
+    r
+  in
+  let detector =
+    Yashme.Detector.create ~mode:opts.mode ~eadr:opts.eadr
+      ~coherence:opts.coherence ()
+  in
+  let inherited =
+    match s.setup with
+    | No_setup -> None
+    | Snapshot cs -> Some (Px86.Crashstate.copy cs)
+    | Run_setup fn ->
+        (* Mirror [run_setup]: default round-robin scheduling, no
+           detector — the setup phase is trusted. *)
+        let r =
+          count
+            (Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.sb_policy
+               ~seed:opts.seed ~exec_id:setup_exec fn)
+        in
+        Some r.Executor.state
+  in
+  let pre_result =
+    count
+      (run_phase ~detector ?inherited ~options:opts ~plan:s.plan ~seed:opts.seed
+         ~exec_id:pre_exec s.pre)
+  in
+  let post_flush_points = ref None in
+  let chain_crashed =
+    crash_fired ~plan:s.plan pre_result
+    && begin
+         let r1 =
+           count
+             (run_phase ~detector ~options:opts
+                ~inherited:pre_result.Executor.state ~plan:s.post_plan
+                ~seed:(opts.seed + 1) ~exec_id:post_exec s.post)
+         in
+         post_flush_points := Some r1.Executor.flush_points;
+         match s.post_plan with
+         | Executor.Run_to_end -> true
+         | _ ->
+             let fired = crash_fired ~plan:s.post_plan r1 in
+             if fired then
+               ignore
+                 (count
+                    (run_recovery ~detector ~options:opts
+                       ~inherited:r1.Executor.state ~seed:(opts.seed + 2)
+                       ~exec_id:(post_exec + 1) s.post));
+             fired
+       end
+  in
+  {
+    label = s.label;
+    races = Yashme.Detector.races detector;
+    chain_crashed;
+    executions = !execs;
+    ops = !ops;
+    flush_points = pre_result.Executor.flush_points;
+    post_flush_points = !post_flush_points;
+    wall_s = now () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The worker pool                                                      *)
+
+type stats = {
+  jobs : int;
+  scenarios : int;
+  executions : int;
+  ops : int;
+  cpu_s : float;
+  elapsed_s : float;
+}
+
+type run_result = { results : scenario_result list; stats : stats }
+
+let run ?(jobs = 1) scenarios =
+  let t0 = now () in
+  let arr = Array.of_list scenarios in
+  let n = Array.length arr in
+  let jobs =
+    if List.for_all Scenario.parallel_safe scenarios then
+      max 1 (min jobs (max 1 n))
+    else 1
+  in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  (* Workers claim the next unstarted scenario; each result lands in
+     its scenario's slot, so the merge below is in submission order no
+     matter which domain finished first. *)
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (out.(i) <-
+           Some
+             (match run_scenario arr.(i) with
+             | r -> Ok r
+             | exception e -> Error e));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  let results =
+    Array.to_list out
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let stats =
+    {
+      jobs;
+      scenarios = n;
+      executions = sum (fun r -> r.executions);
+      ops = sum (fun r -> r.ops);
+      cpu_s = List.fold_left (fun acc r -> acc +. r.wall_s) 0. results;
+      elapsed_s = now () -. t0;
+    }
+  in
+  { results; stats }
+
+(* Merged races of a run, in scenario order (see
+   {!Yashme.Race.merge_ordered} for why order matters). *)
+let races ?(keep = fun (_ : scenario_result) -> true) run =
+  Yashme.Race.merge_ordered
+    (List.map (fun r -> if keep r then r.races else []) run.results)

@@ -1,0 +1,109 @@
+(** The exploration engine: executes a batch of independent failure
+    {!Scenario}s on a pool of OCaml 5 domains.
+
+    Each crash plan of a model-checking (or random-mode) run is an
+    independent failure scenario with its own detector instance, so the
+    batch is embarrassingly parallel.  The engine
+
+    + materializes the whole scenario list up front (the strategy
+      drivers in {!Runner} enumerate crash plans eagerly),
+    + memoizes the trusted setup phase once per program
+      ({!materialize_setup}) — workers re-hydrate it with
+      {!Px86.Crashstate.copy} so no two scenarios share mutable durable
+      state,
+    + executes scenarios on [jobs] domains pulling from a shared work
+      queue, and
+    + merges per-scenario results {e in submission order}, which makes
+      the deduplicated race report byte-identical to a sequential run
+      (see {!Yashme.Race.merge_ordered}).
+
+    Determinism contract: for any [jobs >= 1], [run ~jobs scenarios]
+    returns the same {!scenario_result} list (modulo [wall_s]) as
+    [run ~jobs:1 scenarios].  Scenarios whose options are not
+    domain-safe ({!Scenario.parallel_safe}) force [jobs = 1]. *)
+
+(** Execution ids within one failure scenario. *)
+
+val setup_exec : int
+val pre_exec : int
+val post_exec : int
+
+(** Run a program's setup phase exactly as the sequential harness does
+    (round-robin schedule, no detector: setup data is trusted after a
+    clean shutdown).  [None] when the program has no setup phase. *)
+val run_setup : Scenario.options -> Program.t -> Px86.Crashstate.t option
+
+(** Decide how scenarios of [p] obtain their setup state: a memoized
+    {!Scenario.Snapshot} when the setup run is seed-independent (eager
+    store-buffer drain), a per-scenario {!Scenario.Run_setup} otherwise. *)
+val materialize_setup : options:Scenario.options -> Program.t -> Scenario.setup
+
+(** Run one phase of a scenario.  All pre-crash, recovery and
+    crashed-recovery executions go through this single code path. *)
+val run_phase :
+  ?detector:Yashme.Detector.t ->
+  ?observer:Px86.Observer.t ->
+  ?inherited:Px86.Crashstate.t ->
+  options:Scenario.options ->
+  plan:Pm_runtime.Executor.plan ->
+  seed:int ->
+  exec_id:int ->
+  (unit -> unit) ->
+  Pm_runtime.Executor.result
+
+(** The one recovery path: {!run_phase} specialized to [Run_to_end].
+    Every post-crash recovery run in the harness uses this helper. *)
+val run_recovery :
+  ?detector:Yashme.Detector.t ->
+  ?observer:Px86.Observer.t ->
+  options:Scenario.options ->
+  inherited:Px86.Crashstate.t ->
+  seed:int ->
+  exec_id:int ->
+  (unit -> unit) ->
+  Pm_runtime.Executor.result
+
+(** Did this run's crash plan actually fire?  ([Crash_at_end] completes
+    and then crashes; a targeted plan that never fired leaves a cleanly
+    shut-down state with no crash.) *)
+val crash_fired : plan:Pm_runtime.Executor.plan -> Pm_runtime.Executor.result -> bool
+
+type scenario_result = {
+  label : string;
+  races : Yashme.Race.t list;  (** the scenario detector's raw races *)
+  chain_crashed : bool;
+      (** every crash plan in the scenario's chain fired (for two-crash
+          scenarios: the recovery crash fired too) *)
+  executions : int;  (** executor runs, including a re-run setup *)
+  ops : int;  (** memory/flush operations executed across the chain *)
+  flush_points : int;  (** flush points of the pre-crash run *)
+  post_flush_points : int option;
+      (** flush points of the first recovery run, when it ran — the
+          probe datum two-crash drivers need *)
+  wall_s : float;
+}
+
+(** Execute one scenario on the calling domain. *)
+val run_scenario : Scenario.t -> scenario_result
+
+type stats = {
+  jobs : int;  (** worker domains actually used *)
+  scenarios : int;
+  executions : int;
+  ops : int;
+  cpu_s : float;  (** sum of per-scenario wall times (worker-side) *)
+  elapsed_s : float;  (** end-to-end wall time of the batch *)
+}
+
+type run_result = { results : scenario_result list; stats : stats }
+
+(** Execute the batch on [jobs] domains (default 1; clamped to the
+    batch size and to 1 for non-{!Scenario.parallel_safe} batches).
+    Results are in submission order.  A scenario that raises aborts the
+    batch: the exception of the earliest-submitted failing scenario is
+    re-raised after all workers have drained. *)
+val run : ?jobs:int -> Scenario.t list -> run_result
+
+(** Merged races in scenario order; [keep] filters whole scenarios
+    (e.g. two-crash drivers keep only [chain_crashed] scenarios). *)
+val races : ?keep:(scenario_result -> bool) -> run_result -> Yashme.Race.t list

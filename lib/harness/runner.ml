@@ -1,7 +1,7 @@
 module Executor = Pm_runtime.Executor
 module Rng = Yashme_util.Rng
 
-type options = {
+type options = Scenario.options = {
   mode : Yashme.Detector.mode;
   eadr : bool;
   coherence : bool;
@@ -12,40 +12,34 @@ type options = {
   seed : int;
 }
 
-let default_options =
-  {
-    mode = Yashme.Detector.Prefix;
-    eadr = false;
-    coherence = true;
-    check_candidates = true;
-    sched = Executor.Round_robin;
-    sb_policy = Px86.Machine.Eager;
-    cut = Px86.Machine.Cut_all;
-    seed = 42;
-  }
+let default_options = Scenario.default_options
 
-(* Execution ids within one failure scenario: the setup phase is not
-   registered with the detector (its data is trusted after a clean
-   shutdown); pre-crash is 1, recovery is 2. *)
-let setup_exec = 0
-let pre_exec = 1
-let post_exec = 2
+let pre_exec = Engine.pre_exec
+let post_exec = Engine.post_exec
 
-let run_setup opts (p : Program.t) =
-  match p.Program.setup with
-  | None -> None
-  | Some setup ->
-      let r =
-        Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.sb_policy
-          ~seed:opts.seed ~exec_id:setup_exec setup
-      in
-      Some r.Executor.state
+let run_setup = Engine.run_setup
 
 let count_flush_points ?(options = default_options) (p : Program.t) =
   let inherited = run_setup options p in
   let r =
-    Executor.run ?inherited ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
-      ~sched:options.sched ~seed:options.seed ~exec_id:pre_exec p.Program.pre
+    Engine.run_phase ?inherited ~options ~plan:Executor.Run_to_end
+      ~seed:options.seed ~exec_id:pre_exec p.Program.pre
+  in
+  r.Executor.flush_points
+
+(* Flush-point count against an already materialized setup (the engine
+   drivers' variant of {!count_flush_points}; same result, but a
+   memoized snapshot is re-hydrated instead of re-running the setup). *)
+let count_points ~options ~setup (p : Program.t) =
+  let inherited =
+    match setup with
+    | Scenario.No_setup -> None
+    | Scenario.Snapshot cs -> Some (Px86.Crashstate.copy cs)
+    | Scenario.Run_setup _ -> run_setup options p
+  in
+  let r =
+    Engine.run_phase ?inherited ~options ~plan:Executor.Run_to_end
+      ~seed:options.seed ~exec_id:pre_exec p.Program.pre
   in
   r.Executor.flush_points
 
@@ -56,29 +50,15 @@ let run_once ?(options = default_options) ~plan (p : Program.t) =
       ~coherence:options.coherence ()
   in
   let pre_result =
-    Executor.run ~detector ?inherited ~plan ~sb_policy:options.sb_policy
-      ~cut:options.cut ~sched:options.sched ~seed:options.seed
-      ~check_candidates:options.check_candidates ~exec_id:pre_exec p.Program.pre
-  in
-  let crash_happened =
-    match pre_result.Executor.outcome with
-    | Executor.Crashed -> true
-    | Executor.Completed -> (
-        (* [Crash_at_end] completes and then crashes; targeted plans that
-           never fired leave a cleanly shut-down state with no crash. *)
-        match plan with
-        | Executor.Crash_at_end -> true
-        | Executor.Run_to_end | Executor.Crash_before_op _
-        | Executor.Crash_before_flush _ -> false)
+    Engine.run_phase ~detector ?inherited ~options ~plan ~seed:options.seed
+      ~exec_id:pre_exec p.Program.pre
   in
   let post_result =
-    if crash_happened then
+    if Engine.crash_fired ~plan pre_result then
       Some
-        (Executor.run ~detector ~inherited:pre_result.Executor.state
-           ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
-           ~sched:options.sched ~seed:(options.seed + 1)
-           ~check_candidates:options.check_candidates ~exec_id:post_exec
-           p.Program.post)
+        (Engine.run_recovery ~detector ~options
+           ~inherited:pre_result.Executor.state ~seed:(options.seed + 1)
+           ~exec_id:post_exec p.Program.post)
     else None
   in
   (detector, pre_result, post_result)
@@ -91,35 +71,44 @@ let run_once_traced ?(options = default_options) ~plan (p : Program.t) =
   in
   let trace, trace_observer = Px86.Trace.recorder () in
   let pre_result =
-    Executor.run ~detector ?inherited ~plan ~sb_policy:options.sb_policy
-      ~cut:options.cut ~sched:options.sched ~seed:options.seed
-      ~check_candidates:options.check_candidates ~observer:trace_observer
-      ~exec_id:pre_exec p.Program.pre
+    Engine.run_phase ~detector ?inherited ~observer:trace_observer ~options ~plan
+      ~seed:options.seed ~exec_id:pre_exec p.Program.pre
   in
-  (match pre_result.Executor.outcome with
-  | Executor.Crashed ->
-      ignore
-        (Executor.run ~detector ~inherited:pre_result.Executor.state
-           ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
-           ~sched:options.sched ~seed:(options.seed + 1)
-           ~check_candidates:options.check_candidates ~exec_id:post_exec
-           p.Program.post)
-  | Executor.Completed ->
-      if plan = Executor.Crash_at_end then
-        ignore
-          (Executor.run ~detector ~inherited:pre_result.Executor.state
-             ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
-             ~sched:options.sched ~seed:(options.seed + 1)
-             ~check_candidates:options.check_candidates ~exec_id:post_exec
-             p.Program.post));
+  if Engine.crash_fired ~plan pre_result then
+    ignore
+      (Engine.run_recovery ~detector ~options
+         ~inherited:pre_result.Executor.state ~seed:(options.seed + 1)
+         ~exec_id:post_exec p.Program.post);
   (detector, trace)
 
-let model_check ?(options = default_options) (p : Program.t) =
-  let points = count_flush_points ~options p in
-  let plans =
-    List.init points (fun n -> Executor.Crash_before_flush n)
-    @ [ Executor.Crash_at_end ]
+(* ------------------------------------------------------------------ *)
+(* Model checking: one scenario per flush point (plus crash-at-end),    *)
+(* explored by the engine.                                              *)
+
+let model_check_plans points =
+  List.init points (fun n -> Executor.Crash_before_flush n)
+  @ [ Executor.Crash_at_end ]
+
+let model_check_run ?(options = default_options) ?(jobs = 1) (p : Program.t) =
+  let setup = Engine.materialize_setup ~options p in
+  let points = count_points ~options ~setup p in
+  let scenarios =
+    List.map
+      (fun plan -> Scenario.of_program ~setup ~plan ~options p)
+      (model_check_plans points)
   in
+  let run = Engine.run ~jobs scenarios in
+  ( Report.dedup ~program:p.Program.name ~executions:(List.length scenarios)
+      (Engine.races run),
+    run.Engine.stats )
+
+let model_check ?options ?jobs p = fst (model_check_run ?options ?jobs p)
+
+(* Reference sequential implementation (the pre-engine plan loop); the
+   determinism suite checks the engine against it at every job count. *)
+let model_check_seq ?(options = default_options) (p : Program.t) =
+  let points = count_flush_points ~options p in
+  let plans = model_check_plans points in
   let races =
     List.concat_map
       (fun plan ->
@@ -129,17 +118,55 @@ let model_check ?(options = default_options) (p : Program.t) =
   in
   Report.dedup ~program:p.Program.name ~executions:(List.length plans) races
 
+(* ------------------------------------------------------------------ *)
+(* Recovery model checking: two-crash failure scenarios (section 6).    *)
+
 (* Model-check the recovery procedure itself: for each pre-crash point,
    crash the recovery at each of ITS flush points and run a second
    recovery — the two-crash failure scenarios of section 6 ("a
    persistency race in the recovery procedure would require two
-   crashes"). *)
-let model_check_recovery ?(options = default_options) (p : Program.t) =
-  let pre_points = count_flush_points ~options p in
-  let pre_plans =
-    List.init pre_points (fun n -> Executor.Crash_before_flush n)
-    @ [ Executor.Crash_at_end ]
+   crashes").  Wave 1 probes each pre-crash point for the recovery's
+   own flush points; wave 2 explores the (pre point x recovery point)
+   grid.  Both waves are engine batches. *)
+let model_check_recovery_run ?(options = default_options) ?(jobs = 1)
+    (p : Program.t) =
+  let setup = Engine.materialize_setup ~options p in
+  let points = count_points ~options ~setup p in
+  let pre_plans = model_check_plans points in
+  let probes =
+    Engine.run ~jobs
+      (List.map (fun plan -> Scenario.of_program ~setup ~plan ~options p) pre_plans)
   in
+  let scenarios =
+    List.concat_map
+      (fun (plan, (probe : Engine.scenario_result)) ->
+        if not probe.Engine.chain_crashed then []
+        else
+          let post_points =
+            Option.value ~default:0 probe.Engine.post_flush_points
+          in
+          List.init post_points (fun post_n ->
+              Scenario.of_program ~setup ~plan
+                ~post_plan:(Executor.Crash_before_flush post_n) ~options p))
+      (List.combine pre_plans probes.Engine.results)
+  in
+  let run = Engine.run ~jobs scenarios in
+  let keep (r : Engine.scenario_result) = r.Engine.chain_crashed in
+  let executions =
+    List.length (List.filter keep run.Engine.results)
+  in
+  ( Report.dedup
+      ~program:(p.Program.name ^ "+recovery")
+      ~executions
+      (Engine.races ~keep run),
+    run.Engine.stats )
+
+let model_check_recovery ?options ?jobs p =
+  fst (model_check_recovery_run ?options ?jobs p)
+
+let model_check_recovery_seq ?(options = default_options) (p : Program.t) =
+  let pre_points = count_flush_points ~options p in
+  let pre_plans = model_check_plans pre_points in
   let races = ref [] in
   let executions = ref 0 in
   List.iter
@@ -148,18 +175,14 @@ let model_check_recovery ?(options = default_options) (p : Program.t) =
       let inherited = run_setup options p in
       let probe_detector = Yashme.Detector.create ~mode:options.mode () in
       let pre_result =
-        Executor.run ~detector:probe_detector ?inherited ~plan:pre_plan
-          ~sb_policy:options.sb_policy ~cut:options.cut ~sched:options.sched
-          ~seed:options.seed ~exec_id:pre_exec p.Program.pre
+        Engine.run_phase ~detector:probe_detector ?inherited ~options
+          ~plan:pre_plan ~seed:options.seed ~exec_id:pre_exec p.Program.pre
       in
-      let crashed =
-        pre_result.Executor.outcome = Executor.Crashed || pre_plan = Executor.Crash_at_end
-      in
-      if crashed then begin
+      if Engine.crash_fired ~plan:pre_plan pre_result then begin
         let post_probe =
-          Executor.run ~detector:probe_detector ~inherited:pre_result.Executor.state
-            ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy ~sched:options.sched
-            ~seed:(options.seed + 1) ~exec_id:post_exec p.Program.post
+          Engine.run_recovery ~detector:probe_detector ~options
+            ~inherited:pre_result.Executor.state ~seed:(options.seed + 1)
+            ~exec_id:post_exec p.Program.post
         in
         let post_points = post_probe.Executor.flush_points in
         (* Now re-run with a crash inside the recovery at each point,
@@ -172,22 +195,19 @@ let model_check_recovery ?(options = default_options) (p : Program.t) =
                 ~coherence:options.coherence ()
             in
             let r1 =
-              Executor.run ~detector ?inherited ~plan:pre_plan
-                ~sb_policy:options.sb_policy ~cut:options.cut ~sched:options.sched
+              Engine.run_phase ~detector ?inherited ~options ~plan:pre_plan
                 ~seed:options.seed ~exec_id:pre_exec p.Program.pre
             in
             let r2 =
-              Executor.run ~detector ~inherited:r1.Executor.state
-                ~plan:(Executor.Crash_before_flush post_n) ~sb_policy:options.sb_policy
-                ~cut:options.cut ~sched:options.sched ~seed:(options.seed + 1)
-                ~exec_id:post_exec p.Program.post
+              Engine.run_phase ~detector ~inherited:r1.Executor.state ~options
+                ~plan:(Executor.Crash_before_flush post_n)
+                ~seed:(options.seed + 1) ~exec_id:post_exec p.Program.post
             in
             if r2.Executor.outcome = Executor.Crashed then begin
               let _ =
-                Executor.run ~detector ~inherited:r2.Executor.state
-                  ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
-                  ~sched:options.sched ~seed:(options.seed + 2) ~exec_id:(post_exec + 1)
-                  p.Program.post
+                Engine.run_recovery ~detector ~options
+                  ~inherited:r2.Executor.state ~seed:(options.seed + 2)
+                  ~exec_id:(post_exec + 1) p.Program.post
               in
               incr executions;
               races := Yashme.Detector.races detector @ !races
@@ -195,7 +215,11 @@ let model_check_recovery ?(options = default_options) (p : Program.t) =
           (List.init post_points (fun n -> n))
       end)
     pre_plans;
-  Report.dedup ~program:(p.Program.name ^ "+recovery") ~executions:!executions !races
+  Report.dedup ~program:(p.Program.name ^ "+recovery") ~executions:!executions
+    !races
+
+(* ------------------------------------------------------------------ *)
+(* Random mode                                                          *)
 
 let random_plan rng points =
   let n = Rng.int rng (points + 1) in
@@ -205,7 +229,35 @@ let program_seed (p : Program.t) seed =
   (* Decorrelate programs sharing a numeric seed. *)
   Hashtbl.hash (p.Program.name, seed)
 
-let random_mode ?(options = default_options) ~execs (p : Program.t) =
+(* Per-execution options and crash plan of random mode.  Plans are
+   drawn sequentially from one generator, so they are materialized up
+   front (in draw order) before the engine spreads the executions over
+   domains. *)
+let random_scenarios ~options ~execs (p : Program.t) =
+  let rng = Rng.create options.seed in
+  let setup = Engine.materialize_setup ~options p in
+  let points = max 1 (count_points ~options ~setup p) in
+  let rec build i acc =
+    if i >= execs then List.rev acc
+    else
+      let seed = options.seed + (7919 * (i + 1)) in
+      let options = { options with seed; sched = Executor.Random_sched } in
+      let plan = random_plan rng points in
+      build (i + 1) (Scenario.of_program ~setup ~plan ~options p :: acc)
+  in
+  build 0 []
+
+let random_mode_run ?(options = default_options) ?(jobs = 1) ~execs
+    (p : Program.t) =
+  let options = { options with seed = program_seed p options.seed } in
+  let run = Engine.run ~jobs (random_scenarios ~options ~execs p) in
+  ( Report.dedup ~program:p.Program.name ~executions:execs (Engine.races run),
+    run.Engine.stats )
+
+let random_mode ?options ?jobs ~execs p =
+  fst (random_mode_run ?options ?jobs ~execs p)
+
+let random_mode_seq ?(options = default_options) ~execs (p : Program.t) =
   let options = { options with seed = program_seed p options.seed } in
   let rng = Rng.create options.seed in
   let points = max 1 (count_flush_points ~options p) in
@@ -224,10 +276,15 @@ let random_mode ?(options = default_options) ~execs (p : Program.t) =
 let single_random ?(options = default_options) (p : Program.t) =
   random_mode ~options ~execs:1 p
 
+(* ------------------------------------------------------------------ *)
+(* Timing                                                               *)
+
+(* Wall-clock, not [Sys.time]: CPU time misreports parallel runs and
+   undercounts anything that blocks. *)
 let time_run f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let _ = f () in
-  Sys.time () -. t0
+  Unix.gettimeofday () -. t0
 
 let time_with_detector ?(options = default_options) (p : Program.t) =
   time_run (fun () -> single_random ~options p)
@@ -241,17 +298,12 @@ let time_without_detector ?(options = default_options) (p : Program.t) =
       let inherited = run_setup options p in
       let options = { options with sched = Executor.Random_sched } in
       let pre_result =
-        Executor.run ?inherited ~plan ~sb_policy:options.sb_policy ~cut:options.cut
-          ~sched:options.sched
+        Engine.run_phase ?inherited ~options ~plan
           ~seed:(options.seed + 7919)
           ~exec_id:pre_exec p.Program.pre
       in
-      match pre_result.Executor.outcome with
-      | Executor.Crashed ->
-          ignore
-            (Executor.run ~inherited:pre_result.Executor.state
-               ~plan:Executor.Run_to_end ~sb_policy:options.sb_policy
-               ~sched:options.sched
-               ~seed:(options.seed + 7920)
-               ~exec_id:post_exec p.Program.post)
-      | Executor.Completed -> ())
+      if pre_result.Executor.outcome = Executor.Crashed then
+        ignore
+          (Engine.run_recovery ~options ~inherited:pre_result.Executor.state
+             ~seed:(options.seed + 7920)
+             ~exec_id:post_exec p.Program.post))

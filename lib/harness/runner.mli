@@ -9,9 +9,16 @@
       PMDK / Memcached / Redis programs.
 
     Both run every post-crash load through the detector, checking all
-    candidate stores. *)
+    candidate stores.
 
-type options = {
+    Since the engine refactor, both modes are thin strategy drivers
+    over {!Engine}: they enumerate the crash plans, build one
+    {!Scenario.t} per plan against a memoized setup snapshot, and hand
+    the batch to the engine's domain pool.  [jobs] (default 1) selects
+    the number of worker domains; the deduplicated report is identical
+    for every job count. *)
+
+type options = Scenario.options = {
   mode : Yashme.Detector.mode;
   eadr : bool;  (** eADR persistency semantics (paper, section 7.5) *)
   coherence : bool;  (** condition (2) of Definition 5.1; ablation *)
@@ -44,20 +51,43 @@ val run_once_traced :
   Program.t ->
   Yashme.Detector.t * Px86.Trace.t
 
-val model_check : ?options:options -> Program.t -> Report.t
+val model_check : ?options:options -> ?jobs:int -> Program.t -> Report.t
+
+(** {!model_check} plus the engine's batch statistics (throughput
+    accounting for the bench harness). *)
+val model_check_run :
+  ?options:options -> ?jobs:int -> Program.t -> Report.t * Engine.stats
 
 (** Two-crash failure scenarios (section 6's execution stack): for every
     pre-crash point, also crash the {e recovery} before each of its own
     flush points and run a second recovery — the only way to find
     persistency races in recovery code. *)
-val model_check_recovery : ?options:options -> Program.t -> Report.t
+val model_check_recovery : ?options:options -> ?jobs:int -> Program.t -> Report.t
 
-val random_mode : ?options:options -> execs:int -> Program.t -> Report.t
+val model_check_recovery_run :
+  ?options:options -> ?jobs:int -> Program.t -> Report.t * Engine.stats
+
+val random_mode : ?options:options -> ?jobs:int -> execs:int -> Program.t -> Report.t
+
+val random_mode_run :
+  ?options:options -> ?jobs:int -> execs:int -> Program.t -> Report.t * Engine.stats
+
+(** Reference sequential implementations (the pre-engine plan loops).
+    The determinism suite asserts the engine reproduces their reports
+    exactly at every job count; they also remain the simplest oracle
+    for debugging the engine itself. *)
+
+val model_check_seq : ?options:options -> Program.t -> Report.t
+val model_check_recovery_seq : ?options:options -> Program.t -> Report.t
+val random_mode_seq : ?options:options -> execs:int -> Program.t -> Report.t
 
 (** [single_random ~seed] is one random-mode execution pair, the
     experiment Table 5 reports ("a single randomly generated
     execution"). *)
 val single_random : ?options:options -> Program.t -> Report.t
+
+(** Wall-clock seconds spent in [f ()]. *)
+val time_run : (unit -> 'a) -> float
 
 (** Run one random execution pair without any detector, measuring the
     bare infrastructure (the paper's "Jaaru time" column).  Returns

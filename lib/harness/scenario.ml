@@ -1,0 +1,55 @@
+module Executor = Pm_runtime.Executor
+
+type options = {
+  mode : Yashme.Detector.mode;
+  eadr : bool;
+  coherence : bool;
+  check_candidates : bool;
+  sched : Executor.sched_policy;
+  sb_policy : Px86.Machine.sb_policy;
+  cut : Px86.Machine.cut_strategy;
+  seed : int;
+}
+
+let default_options =
+  {
+    mode = Yashme.Detector.Prefix;
+    eadr = false;
+    coherence = true;
+    check_candidates = true;
+    sched = Executor.Round_robin;
+    sb_policy = Px86.Machine.Eager;
+    cut = Px86.Machine.Cut_all;
+    seed = 42;
+  }
+
+type setup =
+  | No_setup
+  | Snapshot of Px86.Crashstate.t
+  | Run_setup of (unit -> unit)
+
+type t = {
+  label : string;
+  setup : setup;
+  pre : unit -> unit;
+  post : unit -> unit;
+  plan : Executor.plan;
+  post_plan : Executor.plan;
+  options : options;
+}
+
+let make ?(post_plan = Executor.Run_to_end) ~label ~setup ~pre ~post ~plan
+    ~options () =
+  { label; setup; pre; post; plan; post_plan; options }
+
+let of_program ?post_plan ~setup ~plan ~options (p : Program.t) =
+  make ?post_plan ~label:p.Program.name ~setup ~pre:p.Program.pre
+    ~post:p.Program.post ~plan ~options ()
+
+(* [Cut_random] carries a mutable Rng shared by every scenario built
+   from the same options record: scenarios using it must stay on one
+   domain (see the executor's domain-safety audit). *)
+let parallel_safe t =
+  match t.options.cut with
+  | Px86.Machine.Cut_random _ -> false
+  | Px86.Machine.Cut_all | Px86.Machine.Cut_lowerbound -> true

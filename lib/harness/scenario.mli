@@ -1,0 +1,77 @@
+(** A failure scenario: one self-contained unit of crash exploration.
+
+    A scenario bundles everything one worker needs to explore a single
+    crash point — the trusted setup state, the pre-crash and recovery
+    programs, the crash plan and the harness options.  Scenarios are
+    pure descriptions: building one runs nothing, and two scenarios
+    never share mutable state (a {!Snapshot} is copied before use), so
+    the {!Engine} is free to execute them in any order on any domain. *)
+
+type options = {
+  mode : Yashme.Detector.mode;
+  eadr : bool;  (** eADR persistency semantics (paper, section 7.5) *)
+  coherence : bool;  (** condition (2) of Definition 5.1; ablation *)
+  check_candidates : bool;  (** check all candidate stores; ablation *)
+  sched : Pm_runtime.Executor.sched_policy;
+  sb_policy : Px86.Machine.sb_policy;
+  cut : Px86.Machine.cut_strategy;
+  seed : int;
+}
+
+val default_options : options
+
+(** How a scenario obtains the trusted post-setup durable state.
+
+    - [No_setup]: the program has no setup phase; boot from pristine
+      memory.
+    - [Snapshot cs]: the memoized setup state, computed once per
+      program.  Workers take a {!Px86.Crashstate.copy} before running,
+      so a scenario can never mutate the shared snapshot.  Only valid
+      when the setup phase is seed-independent (eager store-buffer
+      drain); {!Engine.materialize_setup} decides.
+    - [Run_setup fn]: re-execute the setup phase with the scenario's
+      own options (needed when a randomized drain policy makes the
+      setup state depend on the scenario seed). *)
+type setup =
+  | No_setup
+  | Snapshot of Px86.Crashstate.t
+  | Run_setup of (unit -> unit)
+
+type t = {
+  label : string;
+  setup : setup;
+  pre : unit -> unit;
+  post : unit -> unit;
+  plan : Pm_runtime.Executor.plan;  (** crash plan for the pre phase *)
+  post_plan : Pm_runtime.Executor.plan;
+      (** plan for the {e first} recovery run.  [Run_to_end] for the
+          ordinary one-crash scenarios; a crash plan turns the scenario
+          into a two-crash one (crash inside recovery, then a second,
+          clean recovery — section 6's execution stacks). *)
+  options : options;
+}
+
+val make :
+  ?post_plan:Pm_runtime.Executor.plan ->
+  label:string ->
+  setup:setup ->
+  pre:(unit -> unit) ->
+  post:(unit -> unit) ->
+  plan:Pm_runtime.Executor.plan ->
+  options:options ->
+  unit ->
+  t
+
+(** Scenario for one crash plan of a {!Program.t}. *)
+val of_program :
+  ?post_plan:Pm_runtime.Executor.plan ->
+  setup:setup ->
+  plan:Pm_runtime.Executor.plan ->
+  options:options ->
+  Program.t ->
+  t
+
+(** False when the scenario's options embed domain-unsafe shared state
+    ([Cut_random]'s mutable Rng); the engine then refuses to spread the
+    batch over several domains. *)
+val parallel_safe : t -> bool

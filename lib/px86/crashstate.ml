@@ -17,6 +17,19 @@ let boot () =
     heap_break = Addr.line_size (* keep line 0 for runtime metadata *);
   }
 
+(* The [Event.store] records reachable through [origins]/[cands] are
+   frozen once committed (their [seq] is assigned at cache commit, before
+   they can enter a crash state), so sharing them between the copy and
+   the original is safe even across domains. *)
+let copy t =
+  {
+    exec_id = t.exec_id;
+    image = Memimage.copy t.image;
+    origins = Hashtbl.copy t.origins;
+    cands = Hashtbl.copy t.cands;
+    heap_break = t.heap_break;
+  }
+
 let find_origin t ~addr ~size =
   let rec scan i best distinct =
     if i >= size then (best, distinct)

@@ -24,6 +24,12 @@ type t = {
 (** The pristine pre-boot state: zero image, no origins. *)
 val boot : unit -> t
 
+(** A snapshot that shares no mutable structure with [t]: the byte image
+    and both index tables are duplicated, so executions seeded from the
+    copy (possibly on another domain) can never mutate the original.
+    The immutable committed [Event.store] records are shared. *)
+val copy : t -> t
+
 (** Origin of a load of [[addr, addr+size)]: the newest writer among the
     bytes' origins, and whether the bytes mix several writers (a torn
     read). [None] when no byte was ever written. *)

@@ -5,7 +5,23 @@
     their memory operations on a {!Px86.Machine.t}, consults the crash
     plan before every instruction, and — when a detector is attached —
     feeds post-crash loads to the Yashme algorithms, checking {e every}
-    candidate store a load could have read. *)
+    candidate store a load could have read.
+
+    {b Domain safety (re-entrancy audit).}  [run] allocates every piece
+    of mutable state it touches — scheduler tables, RNG, machine,
+    effect-handler continuations — inside the call, so concurrent [run]s
+    on separate domains never share structure, {e provided} their inputs
+    are unshared:
+    - an [inherited] crash state must not be given to two concurrent
+      runs (post-crash reads consult its tables; snapshot one with
+      {!Px86.Crashstate.copy} per run instead);
+    - a [detector] and an [observer] are single-scenario objects;
+    - a [Px86.Machine.Cut_random] cut strategy carries a mutable
+      {!Yashme_util.Rng.t} inside the variant and is the one knob that
+      is {e not} safe to share across domains (the exploration engine
+      refuses to parallelize it).
+    The effect declarations in {!Pmem} are immutable registrations;
+    handlers are installed per-run, per-domain. *)
 
 (** When to crash the execution. *)
 type plan =

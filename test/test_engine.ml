@@ -1,0 +1,213 @@
+(* Tests for the domain-parallel exploration engine: the determinism
+   contract (engine at any job count == legacy sequential loops), the
+   memoized setup snapshot (never mutated by scenario runs) and the
+   Crashstate snapshot API. *)
+
+open Pm_runtime
+module Runner = Pm_harness.Runner
+module Report = Pm_harness.Report
+module Program = Pm_harness.Program
+module Scenario = Pm_harness.Scenario
+module Engine = Pm_harness.Engine
+module Registry = Pm_benchmarks.Registry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let toy =
+  Program.make ~name:"toy"
+    ~setup:(fun () ->
+      let a = Pmem.alloc ~align:64 16 in
+      Pmem.set_root 0 a)
+    ~pre:(fun () ->
+      let a = Pmem.get_root 0 in
+      Pmem.store ~label:"racy" a 1L;
+      Pmem.store ~label:"safe" ~atomic:Px86.Access.Release (a + 8) 2L;
+      Pmem.clflush a;
+      Pmem.mfence ())
+    ~post:(fun () ->
+      let a = Pmem.get_root 0 in
+      ignore (Pmem.load a);
+      ignore (Pmem.load ~atomic:Px86.Access.Acquire (a + 8)))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Determinism suite: engine jobs=1, jobs=4 and the legacy sequential
+   path must produce identical dedup'd race reports. *)
+
+let test_model_check_determinism () =
+  List.iter
+    (fun (p : Program.t) ->
+      let seq = Report.to_string (Runner.model_check_seq p) in
+      let j1 = Report.to_string (Runner.model_check ~jobs:1 p) in
+      let j4 = Report.to_string (Runner.model_check ~jobs:4 p) in
+      check_str (p.Program.name ^ ": jobs=1 == seq") seq j1;
+      check_str (p.Program.name ^ ": jobs=4 == seq") seq j4)
+    Registry.all
+
+let test_recovery_mc_determinism () =
+  List.iter
+    (fun (p : Program.t) ->
+      let seq = Report.to_string (Runner.model_check_recovery_seq p) in
+      let j1 = Report.to_string (Runner.model_check_recovery ~jobs:1 p) in
+      let j4 = Report.to_string (Runner.model_check_recovery ~jobs:4 p) in
+      check_str (p.Program.name ^ ": jobs=1 == seq") seq j1;
+      check_str (p.Program.name ^ ": jobs=4 == seq") seq j4)
+    [ toy; Pm_benchmarks.Cceh.program ]
+
+let test_random_mode_determinism () =
+  List.iter
+    (fun (p : Program.t) ->
+      let seq = Report.to_string (Runner.random_mode_seq ~execs:5 p) in
+      let j1 = Report.to_string (Runner.random_mode ~jobs:1 ~execs:5 p) in
+      let j4 = Report.to_string (Runner.random_mode ~jobs:4 ~execs:5 p) in
+      check_str (p.Program.name ^ ": jobs=1 == seq") seq j1;
+      check_str (p.Program.name ^ ": jobs=4 == seq") seq j4)
+    [ Pm_benchmarks.Memcached.program; Pm_benchmarks.Redis.program;
+      Pm_benchmarks.Fast_fair.program ]
+
+(* Oversubscription and degenerate job counts must not change anything
+   (jobs is clamped to the batch size and to >= 1). *)
+let test_job_count_clamping () =
+  let seq = Report.to_string (Runner.model_check_seq toy) in
+  List.iter
+    (fun jobs ->
+      check_str
+        (Printf.sprintf "jobs=%d" jobs)
+        seq
+        (Report.to_string (Runner.model_check ~jobs toy)))
+    [ 0; 2; 16 ]
+
+(* A Cut_random strategy embeds a shared mutable Rng: the engine must
+   refuse to parallelize it (and still complete). *)
+let test_cut_random_forces_sequential () =
+  let options =
+    { Runner.default_options with
+      cut = Px86.Machine.Cut_random (Yashme_util.Rng.create 7) }
+  in
+  let scenarios =
+    [ Scenario.of_program ~setup:Scenario.No_setup
+        ~plan:Executor.Crash_at_end ~options toy ]
+  in
+  check "not parallel safe" false (Scenario.parallel_safe (List.hd scenarios));
+  let run = Engine.run ~jobs:4 scenarios in
+  check_int "forced to one domain" 1 run.Engine.stats.Engine.jobs
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot semantics                                                   *)
+
+let test_setup_snapshot_memoized () =
+  match Engine.materialize_setup ~options:Runner.default_options toy with
+  | Scenario.No_setup | Scenario.Run_setup _ ->
+      Alcotest.fail "expected a memoized snapshot for an eager-drain setup"
+  | Scenario.Snapshot cs ->
+      (* A scenario run must never mutate the shared snapshot. *)
+      let fingerprint () = Marshal.to_string cs [] in
+      let before = fingerprint () in
+      let scenario =
+        Scenario.of_program ~setup:(Scenario.Snapshot cs)
+          ~plan:(Executor.Crash_before_flush 0)
+          ~options:Runner.default_options toy
+      in
+      let r1 = Engine.run_scenario scenario in
+      check_str "snapshot unchanged by a scenario run" before (fingerprint ());
+      (* And re-running from the same snapshot reproduces the result. *)
+      let r2 = Engine.run_scenario scenario in
+      check_int "same race count on re-run" (List.length r1.Engine.races)
+        (List.length r2.Engine.races);
+      check "snapshot still unchanged" true (before = fingerprint ())
+
+let test_random_drain_setup_not_memoized () =
+  let options =
+    { Runner.default_options with sb_policy = Px86.Machine.Random_drain 0.5 }
+  in
+  match Engine.materialize_setup ~options toy with
+  | Scenario.Run_setup _ -> ()
+  | Scenario.No_setup | Scenario.Snapshot _ ->
+      Alcotest.fail "seed-dependent setup must be re-run per scenario"
+
+let test_crashstate_copy_independent () =
+  match Engine.run_setup Runner.default_options toy with
+  | None -> Alcotest.fail "toy has a setup phase"
+  | Some cs ->
+      let snap = Px86.Crashstate.copy cs in
+      let addr = 8 * Px86.Addr.line_size in
+      (* Mutate every mutable component of the copy... *)
+      Px86.Memimage.write snap.Px86.Crashstate.image ~addr ~size:8
+        ~value:0xDEADL;
+      Hashtbl.reset snap.Px86.Crashstate.origins;
+      Hashtbl.reset snap.Px86.Crashstate.cands;
+      snap.Px86.Crashstate.heap_break <- 0;
+      (* ...and the original must not notice. *)
+      Alcotest.(check int64)
+        "image unshared" 0L
+        (Px86.Memimage.read cs.Px86.Crashstate.image ~addr ~size:8);
+      check "origins unshared" true
+        (Hashtbl.length cs.Px86.Crashstate.origins > 0);
+      check "heap break unshared" true (cs.Px86.Crashstate.heap_break > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+
+let test_engine_stats () =
+  let report, stats = Runner.model_check_run ~jobs:2 toy in
+  check_int "one scenario per crash point" report.Report.executions
+    stats.Engine.scenarios;
+  check "explored executions counted" true
+    (stats.Engine.executions >= stats.Engine.scenarios);
+  check "ops counted" true (stats.Engine.ops > 0);
+  check "worker time accumulated" true (stats.Engine.cpu_s >= 0.);
+  check "elapsed measured" true (stats.Engine.elapsed_s >= 0.);
+  check_int "domains clamped to batch" 2 stats.Engine.jobs
+
+let test_scenario_results_in_submission_order () =
+  let options = Runner.default_options in
+  let setup = Engine.materialize_setup ~options toy in
+  let plans =
+    [ Executor.Crash_before_flush 0; Executor.Crash_before_flush 1;
+      Executor.Crash_at_end ]
+  in
+  let scenarios =
+    List.map (fun plan -> Scenario.of_program ~setup ~plan ~options toy) plans
+  in
+  let a = Engine.run ~jobs:1 scenarios in
+  let b = Engine.run ~jobs:3 scenarios in
+  let sig_of run =
+    List.map
+      (fun (r : Engine.scenario_result) ->
+        (r.Engine.label, List.length r.Engine.races, r.Engine.chain_crashed))
+      run.Engine.results
+  in
+  check "same per-scenario results in same order" true (sig_of a = sig_of b)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "model-check: all registry benchmarks" `Slow
+            test_model_check_determinism;
+          Alcotest.test_case "recovery model-check" `Slow
+            test_recovery_mc_determinism;
+          Alcotest.test_case "random mode" `Quick test_random_mode_determinism;
+          Alcotest.test_case "job-count clamping" `Quick test_job_count_clamping;
+          Alcotest.test_case "Cut_random forces sequential" `Quick
+            test_cut_random_forces_sequential;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "memoized setup never mutated" `Quick
+            test_setup_snapshot_memoized;
+          Alcotest.test_case "random-drain setup re-run" `Quick
+            test_random_drain_setup_not_memoized;
+          Alcotest.test_case "Crashstate.copy independence" `Quick
+            test_crashstate_copy_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "engine stats" `Quick test_engine_stats;
+          Alcotest.test_case "submission-order merge" `Quick
+            test_scenario_results_in_submission_order;
+        ] );
+    ]
