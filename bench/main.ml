@@ -209,17 +209,29 @@ let engine_throughput ~jobs () =
     [ Pm_benchmarks.Cceh.program; Pm_benchmarks.Fast_fair.program;
       Pm_benchmarks.Memcached.program ]
   in
+  (* Observe-layer counters ride along in the JSON lines: per-benchmark
+     diffs of the global registry around the jobs=N run.  The counters
+     are jobs-invariant (each scenario runs exactly once), so these
+     numbers double as a cheap cross-check of the determinism
+     contract. *)
+  Observe.Metrics.enable ();
+  let counter_of diff name =
+    match List.assoc_opt name diff with Some v -> v | None -> 0
+  in
   let measured =
     List.map
       (fun (p : Pm_harness.Program.t) ->
         let _, s1 = Runner.model_check_run ~jobs:1 p in
+        let before = Observe.Metrics.snapshot () in
         let _, sn = Runner.model_check_run ~jobs p in
-        (p.Pm_harness.Program.name, s1, sn))
+        let diff = Observe.Metrics.diff before (Observe.Metrics.snapshot ()) in
+        (p.Pm_harness.Program.name, s1, sn, diff))
       programs
   in
+  Observe.Metrics.disable ();
   let rows =
     List.map
-      (fun (name, (s1 : Engine.stats), (sn : Engine.stats)) ->
+      (fun (name, (s1 : Engine.stats), (sn : Engine.stats), _) ->
         [ name; string_of_int sn.Engine.scenarios;
           string_of_int sn.Engine.executions; string_of_int sn.Engine.ops;
           Printf.sprintf "%.4fs" s1.Engine.elapsed_s;
@@ -236,16 +248,38 @@ let engine_throughput ~jobs () =
        rows);
   print_endline "engine-throughput JSON:";
   List.iter
-    (fun (name, (s1 : Engine.stats), (sn : Engine.stats)) ->
+    (fun (name, (s1 : Engine.stats), (sn : Engine.stats), diff) ->
+      let c = counter_of diff in
+      let executor_loads =
+        c "executor/setup/loads" + c "executor/pre/loads" + c "executor/post/loads"
+      in
+      let executor_stores =
+        c "executor/setup/stores" + c "executor/pre/stores"
+        + c "executor/post/stores"
+      in
       Printf.printf
         "{\"bench\":%S,\"jobs\":%d,\"scenarios\":%d,\"executions\":%d,\"ops\":%d,\
          \"elapsed_s_jobs1\":%.6f,\"elapsed_s\":%.6f,\"speedup\":%.3f,\
-         \"ops_per_s\":%.1f,\"cpu_s\":%.6f}\n"
+         \"ops_per_s\":%.1f,\"cpu_s\":%.6f,\
+         \"detector_candidates\":%d,\"detector_prefix_expansions\":%d,\
+         \"detector_cv_comparisons\":%d,\"detector_races_raised\":%d,\
+         \"detector_races_benign\":%d,\"executor_loads\":%d,\
+         \"executor_stores\":%d,\"px86_sb_evictions\":%d,\"px86_fb_applies\":%d,\
+         \"px86_crashes\":%d}\n"
         name sn.Engine.jobs sn.Engine.scenarios sn.Engine.executions
         sn.Engine.ops s1.Engine.elapsed_s sn.Engine.elapsed_s
         (s1.Engine.elapsed_s /. sn.Engine.elapsed_s)
         (float_of_int sn.Engine.ops /. sn.Engine.elapsed_s)
-        sn.Engine.cpu_s)
+        sn.Engine.cpu_s
+        (c "detector/candidate_checks")
+        (c "detector/prefix_expansions")
+        (c "detector/cv_comparisons")
+        (c "detector/races_raised")
+        (c "detector/races_benign")
+        executor_loads executor_stores
+        (c "px86/sb_evictions")
+        (c "px86/fb_applies")
+        (c "px86/crash_materializations"))
     measured
 
 (* ------------------------------------------------------------------ *)

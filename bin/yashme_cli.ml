@@ -62,6 +62,47 @@ let no_candidates =
   let doc = "Ablation: only check the store each load actually read." in
   Arg.(value & flag & info [ "no-candidates" ] ~doc)
 
+let metrics_flag =
+  let doc = "Collect and print observe-layer metrics (domain-sharded counters, \
+             merged on read): per-phase executor operations, Px86 buffer \
+             drains, detector candidates/prefix expansions/races raised vs \
+             pruned.  Totals are identical for every --jobs count." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_out =
+  let doc = "Record a trace of the run and write it to $(docv): Chrome \
+             about://tracing JSON (open in chrome://tracing or Perfetto), or \
+             JSONL when $(docv) ends in .jsonl.  Spans cover engine workers, \
+             scenarios, executions and crash materializations, laned per \
+             worker domain." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let quiet_flag =
+  let doc = "Suppress warnings (e.g. the Cut_random fallback to --jobs 1)." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+(* Arm the observe layer before a detection run... *)
+let observe_setup ~metrics ~trace_out ~quiet =
+  Observe.Log.set_quiet quiet;
+  if metrics then Observe.Metrics.enable ();
+  if trace_out <> None then Observe.Trace.start ()
+
+(* ...and flush it afterwards: write the trace file, if one was asked
+   for. *)
+let write_trace = function
+  | Some file ->
+      Observe.Trace.stop ();
+      Observe.Trace.write file;
+      Printf.printf "trace: %d event(s) written to %s\n"
+        (Observe.Trace.event_count ()) file
+  | None -> ()
+
+let print_metrics_summary ~title metrics =
+  Printf.printf "%s:\n" title;
+  let nonzero = List.filter (fun (_, v) -> v <> 0) metrics in
+  if nonzero = [] then print_endline "  (none recorded)"
+  else List.iter (fun (name, v) -> Printf.printf "  %-42s %d\n" name v) nonzero
+
 let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false) mode seed =
   { Pm_harness.Runner.default_options with
     mode; seed; eadr; coherence = not no_coherence;
@@ -102,22 +143,33 @@ let check_cmd =
            ~doc:"Benchmark name (see $(b,yashme list)).")
   in
   let run bench run_mode dmode execs jobs seed show_benign eadr no_coherence
-      no_candidates =
+      no_candidates metrics trace_out quiet =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
         exit 1
     | p ->
+        observe_setup ~metrics ~trace_out ~quiet;
+        let before = if metrics then Observe.Metrics.snapshot () else [] in
         let r =
           report_program run_mode (options ~eadr ~no_coherence ~no_candidates dmode seed)
             ~jobs execs p
         in
-        print_report show_benign r
+        let r =
+          if metrics then
+            Pm_harness.Report.with_metrics r
+              (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
+          else r
+        in
+        print_report show_benign r;
+        if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
+        write_trace trace_out
   in
   let term =
     Term.(
       const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
-      $ eadr_flag $ no_coherence $ no_candidates)
+      $ eadr_flag $ no_coherence $ no_candidates $ metrics_flag $ trace_out
+      $ quiet_flag)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -154,21 +206,58 @@ let witness_cmd =
     term
 
 let check_all_cmd =
-  let run run_mode dmode execs jobs seed show_benign =
+  let run run_mode dmode execs jobs seed show_benign metrics trace_out quiet =
+    observe_setup ~metrics ~trace_out ~quiet;
+    let suite_before = if metrics then Observe.Metrics.snapshot () else [] in
     let total = ref 0 in
     List.iter
       (fun p ->
+        let before = if metrics then Observe.Metrics.snapshot () else [] in
         let r = report_program run_mode (options dmode seed) ~jobs execs p in
+        let r =
+          if metrics then
+            Pm_harness.Report.with_metrics r
+              (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
+          else r
+        in
         total := !total + List.length (Pm_harness.Report.real r);
         print_report show_benign r;
+        if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
         print_newline ())
       Pm_benchmarks.Registry.all;
-    Printf.printf "total distinct persistency races: %d\n" !total
+    Printf.printf "total distinct persistency races: %d\n" !total;
+    if metrics then
+      print_metrics_summary ~title:"metrics summary (whole suite)"
+        (Observe.Metrics.diff suite_before (Observe.Metrics.snapshot ()));
+    write_trace trace_out
   in
   let term =
-    Term.(const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign)
+    Term.(
+      const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
+      $ metrics_flag $ trace_out $ quiet_flag)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
+
+let trace_lint_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Trace file to validate (JSONL when the name ends in .jsonl, \
+                 Chrome trace JSON otherwise).")
+  in
+  let run file =
+    match Observe.Trace.check_file file with
+    | Ok () -> Printf.printf "%s: well-formed\n" file
+    | Error msg ->
+        Printf.eprintf "%s: malformed trace: %s\n" file msg;
+        exit 1
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:"Validate a trace file emitted by --trace-out (JSON well-formedness)")
+    Term.(const run $ file)
 
 let tables_cmd =
   let run () =
@@ -187,6 +276,6 @@ let tables_cmd =
 let main =
   let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
-    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd ]
+    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd; trace_lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,4 +23,11 @@ fi
 echo "== dune runtest"
 dune runtest
 
+echo "== observability smoke (check --metrics --trace-out + trace-lint)"
+trace=$(mktemp /tmp/yashme-ci-trace.XXXXXX.json)
+trap 'rm -f "$trace"' EXIT
+dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --metrics \
+  --trace-out "$trace" --quiet >/dev/null
+dune exec bin/yashme_cli.exe -- trace-lint "$trace"
+
 echo "CI OK"

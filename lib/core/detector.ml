@@ -1,4 +1,19 @@
 module Clockvec = Yashme_util.Clockvec
+module Metrics = Observe.Metrics
+
+(* Exploration-effort counters (paper Tables 4-5: counts and costs).
+   All of them accumulate per-scenario detector work, so their merged
+   totals are identical for every engine job count. *)
+let m_candidate_checks = Metrics.counter "detector/candidate_checks"
+let m_committed_checks = Metrics.counter "detector/committed_checks"
+let m_atomic_loads = Metrics.counter "detector/atomic_loads"
+let m_cv_comparisons = Metrics.counter "detector/cv_comparisons"
+let m_prefix_expansions = Metrics.counter "detector/prefix_expansions"
+let m_flush_records = Metrics.counter "detector/flush_records"
+let m_races_raised = Metrics.counter "detector/races_raised"
+let m_races_benign = Metrics.counter "detector/races_benign"
+let m_pruned_coherence = Metrics.counter "detector/pruned_coherence"
+let m_pruned_persisted = Metrics.counter "detector/pruned_persisted"
 
 type mode = Prefix | Baseline
 
@@ -46,8 +61,10 @@ let note_flush r ~line ~flush_cv ~entry =
                 e.Exec_record.fe_lclk <= Clockvec.get flush_cv e.Exec_record.fe_tid)
               (Exec_record.flushes_of r s.Px86.Event.seq)
           in
-          if store_hb_flush && not already then
-            Exec_record.add_flush r ~seq:s.Px86.Event.seq entry)
+          if store_hb_flush && not already then begin
+            Metrics.incr m_flush_records;
+            Exec_record.add_flush r ~seq:s.Px86.Event.seq entry
+          end)
     (Exec_record.line_addrs r line)
 
 let observer t =
@@ -101,6 +118,8 @@ let load_atomic t ~exec ~store =
   match record_of t exec with
   | None -> ()
   | Some r ->
+      Metrics.incr m_atomic_loads;
+      Metrics.incr m_prefix_expansions;
       let line = Px86.Addr.line store.Px86.Event.addr in
       Exec_record.join_lastflush r ~line store.Px86.Event.cv;
       Exec_record.join_cvpre r store.Px86.Event.cv
@@ -110,6 +129,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
   match record_of t exec with
   | None -> None
   | Some r ->
+  Metrics.incr (if commit then m_committed_checks else m_candidate_checks);
   let result =
     if Px86.Access.is_atomic store.Px86.Event.access then None
     else begin
@@ -117,8 +137,11 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
       let lastflush = Exec_record.lastflush r ~line in
       let covered_by_coherence =
         t.dcoherence
-        && Clockvec.get store.Px86.Event.cv store.Px86.Event.tid
-           <= Clockvec.get lastflush store.Px86.Event.tid
+        && begin
+             Metrics.incr m_cv_comparisons;
+             Clockvec.get store.Px86.Event.cv store.Px86.Event.tid
+             <= Clockvec.get lastflush store.Px86.Event.tid
+           end
       in
       let flush_counts (e : Exec_record.flush_entry) =
         match t.dmode with
@@ -126,6 +149,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
         | Prefix ->
             (* Only flushes inside the smallest consistent prefix are
                mandatory; any shorter prefix omits the others (5.1). *)
+            Metrics.incr m_cv_comparisons;
             e.Exec_record.fe_lclk
             <= Clockvec.get (Exec_record.cvpre r) e.Exec_record.fe_tid
       in
@@ -138,12 +162,17 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
           (match t.dmode with
           | Baseline -> true
           | Prefix ->
+              Metrics.incr m_cv_comparisons;
               store.Px86.Event.lclk
               <= Clockvec.get (Exec_record.cvpre r) store.Px86.Event.tid)
         else
           List.exists flush_counts (Exec_record.flushes_of r store.Px86.Event.seq)
       in
-      if covered_by_coherence || persisted then None
+      if covered_by_coherence || persisted then begin
+        Metrics.incr
+          (if covered_by_coherence then m_pruned_coherence else m_pruned_persisted);
+        None
+      end
       else begin
         let race =
           {
@@ -157,10 +186,14 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
             benign;
           }
         in
+        Metrics.incr (if benign then m_races_benign else m_races_raised);
         t.reported <- race :: t.reported;
         Some race
       end
     end
   in
-  if commit then Exec_record.join_cvpre r store.Px86.Event.cv;
+  if commit then begin
+    Metrics.incr m_prefix_expansions;
+    Exec_record.join_cvpre r store.Px86.Event.cv
+  end;
   result

@@ -163,6 +163,46 @@ type stats = {
   elapsed_s : float;
 }
 
+(* The timing-free projection: what determinism comparisons may look
+   at.  [cpu_s]/[elapsed_s] (and [scenario_result.wall_s]) vary run to
+   run, so polymorphic equality over the full records is latently
+   flaky — compare these instead. *)
+type structural_stats = {
+  s_jobs : int;
+  s_scenarios : int;
+  s_executions : int;
+  s_ops : int;
+}
+
+let structural stats =
+  {
+    s_jobs = stats.jobs;
+    s_scenarios = stats.scenarios;
+    s_executions = stats.executions;
+    s_ops = stats.ops;
+  }
+
+type scenario_sig = {
+  sig_label : string;
+  sig_races : Yashme.Race.t list;
+  sig_chain_crashed : bool;
+  sig_executions : int;
+  sig_ops : int;
+  sig_flush_points : int;
+  sig_post_flush_points : int option;
+}
+
+let signature (r : scenario_result) =
+  {
+    sig_label = r.label;
+    sig_races = r.races;
+    sig_chain_crashed = r.chain_crashed;
+    sig_executions = r.executions;
+    sig_ops = r.ops;
+    sig_flush_points = r.flush_points;
+    sig_post_flush_points = r.post_flush_points;
+  }
+
 type run_result = { results : scenario_result list; stats : stats }
 
 let run ?(jobs = 1) scenarios =
@@ -172,33 +212,65 @@ let run ?(jobs = 1) scenarios =
   let jobs =
     if List.for_all Scenario.parallel_safe scenarios then
       max 1 (min jobs (max 1 n))
-    else 1
+    else begin
+      if jobs > 1 then
+        Observe.Log.warn
+          "Cut_random's shared RNG is not domain-safe; running the batch on 1 \
+           domain (use Cut_all/Cut_lowerbound for parallel exploration, or \
+           --quiet to silence this)";
+      1
+    end
   in
   let out = Array.make n None in
   let next = Atomic.make 0 in
   (* Workers claim the next unstarted scenario; each result lands in
      its scenario's slot, so the merge below is in submission order no
-     matter which domain finished first. *)
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (out.(i) <-
-           Some
-             (match run_scenario arr.(i) with
-             | r -> Ok r
-             | exception e -> Error e));
-        loop ()
-      end
-    in
-    loop ()
+     matter which domain finished first.  Each worker owns trace lane
+     (pid 0, tid = slot): scenario spans land in their worker's lane,
+     making per-domain utilization and queue idle time visible in the
+     Chrome viewer. *)
+  let worker slot =
+    Observe.Trace.set_context ~pid:0 ~tid:slot;
+    Observe.Span.with_ ~cat:"engine"
+      ~args:[ ("slot", string_of_int slot) ]
+      "worker"
+      (fun () ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let s = arr.(i) in
+            (out.(i) <-
+               Some
+                 (Observe.Span.with_ ~cat:"scenario"
+                    ~args:
+                      [
+                        ("index", string_of_int i);
+                        ("label", s.Scenario.label);
+                        ("plan", Executor.plan_label s.Scenario.plan);
+                      ]
+                    s.Scenario.label
+                    (fun () ->
+                      match run_scenario s with
+                      | r -> Ok r
+                      | exception e -> Error e)));
+            loop ()
+          end
+        in
+        loop ());
+    Observe.Trace.clear_context ()
   in
-  if jobs = 1 then worker ()
-  else begin
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join helpers
-  end;
+  Observe.Span.with_ ~cat:"engine"
+    ~args:[ ("jobs", string_of_int jobs); ("scenarios", string_of_int n) ]
+    "batch"
+    (fun () ->
+      if jobs = 1 then worker 0
+      else begin
+        let helpers =
+          List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+        in
+        worker 0;
+        List.iter Domain.join helpers
+      end);
   let results =
     Array.to_list out
     |> List.map (function

@@ -18,9 +18,18 @@
       (see {!Yashme.Race.merge_ordered}).
 
     Determinism contract: for any [jobs >= 1], [run ~jobs scenarios]
-    returns the same {!scenario_result} list (modulo [wall_s]) as
-    [run ~jobs:1 scenarios].  Scenarios whose options are not
-    domain-safe ({!Scenario.parallel_safe}) force [jobs = 1]. *)
+    returns the same {!scenario_result} list (modulo [wall_s]; compare
+    with {!signature} / {!structural}) as [run ~jobs:1 scenarios].
+    Scenarios whose options are not domain-safe
+    ({!Scenario.parallel_safe}) force [jobs = 1], with a warning
+    through {!Observe.Log} when a higher job count was requested.
+
+    Observability: when the {!Observe.Trace} sink is recording, the
+    engine emits a [batch] span plus per-worker [worker] spans (trace
+    lane pid 0, tid = worker slot) containing one [scenario] span per
+    scenario, tagged with submission index, label and crash plan;
+    executor and machine sub-spans inherit the worker's lane.  Metrics
+    are merged outside the race-report path and never affect it. *)
 
 (** Execution ids within one failure scenario. *)
 
@@ -94,6 +103,32 @@ type stats = {
   cpu_s : float;  (** sum of per-scenario wall times (worker-side) *)
   elapsed_s : float;  (** end-to-end wall time of the batch *)
 }
+
+(** The timing-free projection of {!stats}: determinism comparisons
+    must use this (or {!signature}), never polymorphic equality over
+    the full records — [cpu_s]/[elapsed_s]/[wall_s] vary run to run. *)
+type structural_stats = {
+  s_jobs : int;
+  s_scenarios : int;
+  s_executions : int;
+  s_ops : int;
+}
+
+val structural : stats -> structural_stats
+
+(** The timing-free projection of a {!scenario_result} (everything but
+    [wall_s]). *)
+type scenario_sig = {
+  sig_label : string;
+  sig_races : Yashme.Race.t list;
+  sig_chain_crashed : bool;
+  sig_executions : int;
+  sig_ops : int;
+  sig_flush_points : int;
+  sig_post_flush_points : int option;
+}
+
+val signature : scenario_result -> scenario_sig
 
 type run_result = { results : scenario_result list; stats : stats }
 

@@ -10,7 +10,14 @@ type t = {
   executions : int;
   raw_races : int;
   findings : finding list;
+  metrics : (string * int) list;
+      (* observe-layer counters attributed to this report (e.g. the
+         per-program Metrics.diff the CLI attaches under --metrics);
+         deliberately excluded from [pp]/[to_string] so the race
+         report stays byte-identical with metrics on or off *)
 }
+
+let m_duplicates = Observe.Metrics.counter "report/duplicate_races"
 
 let dedup ~program ~executions races =
   let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
@@ -22,6 +29,7 @@ let dedup ~program ~executions races =
           Hashtbl.add tbl key
             { label = key; benign = r.Yashme.Race.benign; count = 1; example = r }
       | Some f ->
+          Observe.Metrics.incr m_duplicates;
           Hashtbl.replace tbl key
             {
               f with
@@ -34,7 +42,9 @@ let dedup ~program ~executions races =
     Hashtbl.fold (fun _ f acc -> f :: acc) tbl []
     |> List.sort (fun a b -> compare a.label b.label)
   in
-  { program; executions; raw_races = List.length races; findings }
+  { program; executions; raw_races = List.length races; findings; metrics = [] }
+
+let with_metrics t metrics = { t with metrics }
 
 let real t = List.filter (fun f -> not f.benign) t.findings
 let benign t = List.filter (fun f -> f.benign) t.findings
@@ -56,3 +66,14 @@ let pp ppf t =
   Format.fprintf ppf "@]"
 
 let to_string t = Format.asprintf "%a" pp t
+
+let pp_metrics ppf t =
+  Format.fprintf ppf "@[<v>%s metrics:" t.program;
+  if t.metrics = [] then Format.fprintf ppf "@,  (none recorded)"
+  else
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "@,  %-42s %d" name v)
+      t.metrics;
+  Format.fprintf ppf "@]"
+
+let metrics_to_string t = Format.asprintf "%a" pp_metrics t

@@ -17,11 +17,22 @@ type t = {
   executions : int;  (** pre/post execution pairs explored *)
   raw_races : int;
   findings : finding list;  (** sorted by label *)
+  metrics : (string * int) list;
+      (** observe-layer counters attributed to this report (empty
+          unless attached with {!with_metrics}).  Never rendered by
+          {!pp}/{!to_string}: the race report is byte-identical with
+          metrics on or off. *)
 }
 
 (** Deduplicate raw races by field label.  A label is benign only if
-    every report for it is benign. *)
+    every report for it is benign.  [metrics] starts empty; duplicate
+    observations are counted on the [report/duplicate_races] counter
+    of the global {!Observe.Metrics} registry. *)
 val dedup : program:string -> executions:int -> Yashme.Race.t list -> t
+
+(** Attach a metrics block (e.g. an {!Observe.Metrics.diff} covering
+    this report's run). *)
+val with_metrics : t -> (string * int) list -> t
 
 (** Real (non-benign) findings. *)
 val real : t -> finding list
@@ -29,3 +40,8 @@ val real : t -> finding list
 val benign : t -> finding list
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Render the attached metrics block (name/value per line). *)
+val pp_metrics : Format.formatter -> t -> unit
+
+val metrics_to_string : t -> string

@@ -1,0 +1,13 @@
+(* Warnings surfaced through the observe layer: printed to stderr
+   unless quieted, and mirrored into the trace (as Instant events in
+   the "log" category) whenever the sink is recording, so a trace file
+   is self-describing about degradations like the Cut_random
+   jobs-to-1 fallback. *)
+
+let quiet_flag = Atomic.make false
+let set_quiet q = Atomic.set quiet_flag q
+let quiet () = Atomic.get quiet_flag
+
+let warn msg =
+  Trace.instant ~cat:"log" ~args:[ ("message", msg) ] "warning";
+  if not (Atomic.get quiet_flag) then Printf.eprintf "yashme: warning: %s\n%!" msg

@@ -1,0 +1,10 @@
+(** Warnings routed through the observe layer. *)
+
+(** Suppress stderr output of {!warn} (the trace mirror is kept). *)
+val set_quiet : bool -> unit
+
+val quiet : unit -> bool
+
+(** Print ["yashme: warning: <msg>"] to stderr (unless quieted) and
+    mirror the message into the {!Trace} sink when it is recording. *)
+val warn : string -> unit

@@ -1,0 +1,21 @@
+(* Span timers: time a function and emit a Complete trace event.  When
+   the sink is not recording the function runs untouched behind a
+   single branch — no clock reads, no allocation beyond the caller's
+   own argument list. *)
+
+let with_ ?(cat = "") ?pid ?tid ?(args = []) name f =
+  if not (Trace.recording ()) then f ()
+  else begin
+    let t0 = Trace.now_us () in
+    let finish () =
+      Trace.complete ?pid ?tid ~cat ~args ~ts_us:t0 ~dur_us:(Trace.now_us () - t0)
+        name
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end

@@ -1,0 +1,16 @@
+(** Span timers over the {!Trace} sink. *)
+
+(** [with_ ~cat ~args name f] runs [f] and records a {!Trace.Complete}
+    event covering its duration (also when [f] raises).  When the sink
+    is not recording this is [f ()] behind a single branch.  Spans on
+    one (pid, tid) lane nest by interval containment in the Chrome
+    viewer, so wrap coarse units of work (an execution, a scenario),
+    not individual memory operations. *)
+val with_ :
+  ?cat:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ?args:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a

@@ -1,0 +1,337 @@
+(* A trace sink for structured events, exported as Chrome
+   about://tracing JSON ({"traceEvents":[...]}) or machine-readable
+   JSONL (one event object per line).
+
+   Events are recorded into per-domain sharded buffers (one mutex per
+   shard, domains collide only modulo the shard count) and merged at
+   export.  Recording is off until [start]; every emit is a no-op
+   behind one [Atomic.get] branch, so instrumentation left in hot
+   paths costs one load + branch when tracing is disabled. *)
+
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_us : int;
+  dur_us : int; (* 0 for instants *)
+  pid : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Clock: wall time clamped to never run backwards, so span durations
+   and event order stay sane across NTP steps.  Only consulted while
+   recording, so the shared CAS cell is off every disabled path. *)
+
+let last_us = Atomic.make 0
+
+let now_us () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let rec clamp () =
+    let l = Atomic.get last_us in
+    if t <= l then l else if Atomic.compare_and_set last_us l t then t else clamp ()
+  in
+  clamp ()
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+
+let recording_flag = Atomic.make false
+let recording () = Atomic.get recording_flag
+
+let shard_count = 64
+
+type shard = { lock : Mutex.t; mutable shard_events : event list (* newest first *) }
+
+let shards =
+  Array.init shard_count (fun _ -> { lock = Mutex.create (); shard_events = [] })
+
+let clear () =
+  Array.iter
+    (fun s -> Mutex.protect s.lock (fun () -> s.shard_events <- []))
+    shards
+
+let start () =
+  clear ();
+  Atomic.set recording_flag true
+
+let stop () = Atomic.set recording_flag false
+
+(* Ambient (pid, tid) of the calling domain: the engine labels each
+   worker's lane once and every span emitted underneath inherits it,
+   so executor/machine instrumentation needs no plumbing. *)
+let context : (int * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_context ~pid ~tid = Domain.DLS.set context (Some (pid, tid))
+let clear_context () = Domain.DLS.set context None
+
+let default_pid_tid () =
+  match Domain.DLS.get context with
+  | Some c -> c
+  | None -> (0, (Domain.self () :> int))
+
+let record ev =
+  let s = shards.((Domain.self () :> int) land (shard_count - 1)) in
+  Mutex.protect s.lock (fun () -> s.shard_events <- ev :: s.shard_events)
+
+let complete ?(cat = "") ?pid ?tid ?(args = []) ~ts_us ~dur_us name =
+  if recording () then begin
+    let dpid, dtid = default_pid_tid () in
+    let pid = Option.value ~default:dpid pid
+    and tid = Option.value ~default:dtid tid in
+    record { name; cat; ph = Complete; ts_us; dur_us; pid; tid; args }
+  end
+
+let instant ?(cat = "") ?pid ?tid ?(args = []) name =
+  if recording () then begin
+    let dpid, dtid = default_pid_tid () in
+    let pid = Option.value ~default:dpid pid
+    and tid = Option.value ~default:dtid tid in
+    record { name; cat; ph = Instant; ts_us = now_us (); dur_us = 0; pid; tid; args }
+  end
+
+(* Merged events, earliest first; at equal timestamps longer spans
+   sort first so enclosing spans precede their children. *)
+let events () =
+  let all =
+    Array.fold_left (fun acc s -> List.rev_append s.shard_events acc) [] shards
+  in
+  List.stable_sort
+    (fun a b ->
+      match compare a.ts_us b.ts_us with 0 -> compare b.dur_us a.dur_us | c -> c)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let event_json buf ev =
+  Buffer.add_string buf "{\"name\":\"";
+  json_escape buf ev.name;
+  Buffer.add_string buf "\",\"cat\":\"";
+  json_escape buf ev.cat;
+  (match ev.ph with
+  | Complete ->
+      Buffer.add_string buf
+        (Printf.sprintf "\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d" ev.ts_us ev.dur_us)
+  | Instant ->
+      Buffer.add_string buf
+        (Printf.sprintf "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d" ev.ts_us));
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"args\":{" ev.pid ev.tid);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      json_escape buf k;
+      Buffer.add_string buf "\":\"";
+      json_escape buf v;
+      Buffer.add_char buf '"')
+    ev.args;
+  Buffer.add_string buf "}}"
+
+let to_chrome_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n";
+      event_json buf ev)
+    (events ());
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let to_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      event_json buf ev;
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+let event_count () = List.length (events ())
+
+let is_jsonl path = Filename.check_suffix path ".jsonl"
+
+let write path =
+  let data = if is_jsonl path then to_jsonl () else to_chrome_json () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+(* ------------------------------------------------------------------ *)
+(* JSON well-formedness: a tiny recursive-descent checker, so traces
+   can be validated by tests and CI without a JSON dependency. *)
+
+exception Bad of int * string
+
+let check_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = pos := !pos + 1 in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal l =
+    if !pos + String.length l <= n && String.sub s !pos (String.length l) = l then
+      pos := !pos + String.length l
+    else fail (Printf.sprintf "expected %s" l)
+  in
+  let string_lit () =
+    expect '"';
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              loop ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ ->
+          advance ();
+          loop ()
+    in
+    loop ()
+  in
+  let digits () =
+    let start = !pos in
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+        end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    | None -> fail "unexpected end of input"
+  in
+  match
+    value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (at, msg) -> Error (Printf.sprintf "offset %d: %s" at msg)
+
+let check_jsonl s =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' s)
+  in
+  let rec loop i = function
+    | [] -> Ok ()
+    | l :: rest -> (
+        match check_json l with
+        | Ok () -> loop (i + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+  in
+  loop 1 lines
+
+let check_file path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if is_jsonl path then check_jsonl data else check_json data

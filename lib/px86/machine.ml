@@ -1,5 +1,14 @@
 module Clockvec = Yashme_util.Clockvec
 module Rng = Yashme_util.Rng
+module Metrics = Observe.Metrics
+
+(* Storage-system effort counters: store-buffer drains, flush-buffer
+   applies, write-combining persists and crash materializations. *)
+let m_sb_evictions = Metrics.counter "px86/sb_evictions"
+let m_fb_applies = Metrics.counter "px86/fb_applies"
+let m_nt_persists = Metrics.counter "px86/nt_persists"
+let m_crashes = Metrics.counter "px86/crash_materializations"
+let h_crash_lines = Metrics.histogram "px86/crash_lines"
 
 type sb_policy = Eager | Random_drain of float
 
@@ -92,6 +101,7 @@ let apply_store t (s : Event.store) =
 let drain_nt t th (fence : Event.fence) =
   List.iter
     (fun (s : Event.store) ->
+      Metrics.incr m_nt_persists;
       Persistence.mark_durable t.pers s;
       t.cfg.observer.Observer.on_nt_persisted s ~fence)
     (List.rev th.pending_nt);
@@ -100,12 +110,14 @@ let drain_nt t th (fence : Event.fence) =
 let drain_flush_buffer t th (fence : Event.fence) =
   List.iter
     (fun (f : Event.flush) ->
+      Metrics.incr m_fb_applies;
       Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr) ~seq:f.Event.fseq;
       t.cfg.observer.Observer.on_flush_applied f ~fence)
     (Flush_buffer.drain th.fb);
   drain_nt t th fence
 
 let apply_entry t th (entry : Store_buffer.entry) =
+  Metrics.incr m_sb_evictions;
   match entry with
   | Store_buffer.Store s -> apply_store t s
   | Store_buffer.Flush ({ kind = Event.Clflush; _ } as f) ->
@@ -300,6 +312,11 @@ let rec drain_everything t =
       drain_everything t
 
 let crash t ~strategy =
+  Metrics.incr m_crashes;
+  Metrics.observe h_crash_lines (List.length (Persistence.lines t.pers));
+  let span_t0 =
+    if Observe.Trace.recording () then Some (Observe.Trace.now_us ()) else None
+  in
   (* Store-buffer contents are volatile and vanish: do NOT drain. *)
   let image = Memimage.copy t.base in
   let origins : (Addr.t, Crashstate.origin) Hashtbl.t =
@@ -361,13 +378,24 @@ let crash t ~strategy =
       in
       Hashtbl.replace cands (addr, size) merged)
     groups;
-  {
-    Crashstate.exec_id = t.exec_id;
-    image;
-    origins;
-    cands;
-    heap_break = t.inherited.Crashstate.heap_break;
-  }
+  let cs =
+    {
+      Crashstate.exec_id = t.exec_id;
+      image;
+      origins;
+      cands;
+      heap_break = t.inherited.Crashstate.heap_break;
+    }
+  in
+  (match span_t0 with
+  | Some ts ->
+      Observe.Trace.complete ~cat:"px86"
+        ~args:[ ("exec_id", string_of_int t.exec_id) ]
+        ~ts_us:ts
+        ~dur_us:(Observe.Trace.now_us () - ts)
+        "crash_materialize"
+  | None -> ());
+  cs
 
 let shutdown t =
   drain_everything t;

@@ -1,5 +1,6 @@
 module Rng = Yashme_util.Rng
 module Machine = Px86.Machine
+module Metrics = Observe.Metrics
 
 exception Crash_signal
 (** Raised into suspended threads when the machine crashes. *)
@@ -9,6 +10,42 @@ type plan =
   | Crash_at_end
   | Crash_before_op of int
   | Crash_before_flush of int
+
+let plan_label = function
+  | Run_to_end -> "run_to_end"
+  | Crash_at_end -> "crash_at_end"
+  | Crash_before_op n -> Printf.sprintf "crash_before_op:%d" n
+  | Crash_before_flush n -> Printf.sprintf "crash_before_flush:%d" n
+
+(* Per-phase operation counters: execution ids map to the setup /
+   pre-crash / post-crash (recovery) phases of a failure scenario (see
+   Engine).  Resolved once per [run], so the per-op cost when metrics
+   are off is the single branch inside [Metrics.incr]. *)
+type phase_counters = {
+  pc_loads : Metrics.counter;
+  pc_stores : Metrics.counter;
+  pc_cas : Metrics.counter;
+  pc_flushes : Metrics.counter;
+  pc_fences : Metrics.counter;
+}
+
+let phase_counters phase =
+  {
+    pc_loads = Metrics.counter (Printf.sprintf "executor/%s/loads" phase);
+    pc_stores = Metrics.counter (Printf.sprintf "executor/%s/stores" phase);
+    pc_cas = Metrics.counter (Printf.sprintf "executor/%s/cas" phase);
+    pc_flushes = Metrics.counter (Printf.sprintf "executor/%s/flushes" phase);
+    pc_fences = Metrics.counter (Printf.sprintf "executor/%s/fences" phase);
+  }
+
+let all_phase_counters =
+  [| phase_counters "setup"; phase_counters "pre"; phase_counters "post" |]
+
+let phase_of_exec_id exec_id = if exec_id <= 0 then 0 else if exec_id = 1 then 1 else 2
+let phase_name exec_id = [| "setup"; "pre"; "post" |].(phase_of_exec_id exec_id)
+
+let m_crashes = Metrics.counter "executor/crashes"
+let h_ops = Metrics.histogram "executor/ops_per_exec"
 
 type sched_policy = Round_robin | Random_sched
 
@@ -48,6 +85,7 @@ type state = {
   sched : sched_policy;
   rng : Rng.t;
   exec_id : int;
+  pc : phase_counters;  (** this execution's phase counters *)
   threads : (int, tstate) Hashtbl.t;
   mutable tid_order : int list;  (** spawn order, for deterministic picks *)
   mutable next_tid : int;
@@ -106,11 +144,13 @@ let check_crash_read st ~tid ~addr ~size source =
 (* Operation execution                                                  *)
 
 let exec_store st tid (r : Pmem.store_req) =
+  Metrics.incr st.pc.pc_stores;
   Machine.store ~nt:r.Pmem.s_nt st.machine ~tid ~addr:r.Pmem.s_addr
     ~size:r.Pmem.s_size ~value:r.Pmem.s_value ~access:r.Pmem.s_access
     ~label:r.Pmem.s_label
 
 let exec_load st tid (r : Pmem.load_req) =
+  Metrics.incr st.pc.pc_loads;
   let value, source =
     Machine.load st.machine ~tid ~addr:r.Pmem.l_addr ~size:r.Pmem.l_size
       ~access:r.Pmem.l_access
@@ -119,6 +159,7 @@ let exec_load st tid (r : Pmem.load_req) =
   value
 
 let exec_cas st tid (r : Pmem.cas_req) =
+  Metrics.incr st.pc.pc_cas;
   let ok, _observed, source =
     Machine.cas st.machine ~tid ~addr:r.Pmem.c_addr ~size:r.Pmem.c_size
       ~expected:r.Pmem.c_expected ~desired:r.Pmem.c_desired ~label:r.Pmem.c_label
@@ -127,11 +168,14 @@ let exec_cas st tid (r : Pmem.cas_req) =
   ok
 
 let exec_flush st tid (r : Pmem.flush_req) =
+  Metrics.incr st.pc.pc_flushes;
   match r.Pmem.f_kind with
   | Px86.Event.Clflush -> Machine.clflush st.machine ~tid ~addr:r.Pmem.f_addr
   | Px86.Event.Clwb -> Machine.clwb st.machine ~tid ~addr:r.Pmem.f_addr
 
-let exec_fence st tid = function
+let exec_fence st tid fk =
+  Metrics.incr st.pc.pc_fences;
+  match fk with
   | Px86.Event.Sfence -> Machine.sfence st.machine ~tid
   | Px86.Event.Mfence -> Machine.mfence st.machine ~tid
 
@@ -268,6 +312,7 @@ let pick_next st =
       | Waiting _ | Done -> assert false)
 
 let do_crash st =
+  Metrics.incr m_crashes;
   st.crashed <- true;
   st.crashed_at_op <- Some st.ops;
   let cs = Machine.crash st.machine ~strategy:st.cut in
@@ -331,6 +376,9 @@ let sched_loop st =
 let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
     ?(cut = Machine.Cut_all) ?(sched = Round_robin) ?(seed = 0)
     ?(check_candidates = true) ?observer:extra ~exec_id fn =
+  let span_t0 =
+    if Observe.Trace.recording () then Some (Observe.Trace.now_us ()) else None
+  in
   let rng = Rng.create seed in
   let observer =
     match detector with
@@ -363,6 +411,7 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
       sched;
       rng;
       exec_id;
+      pc = all_phase_counters.(phase_of_exec_id exec_id);
       threads = Hashtbl.create 8;
       tid_order = [ 0 ];
       next_tid = 1;
@@ -399,5 +448,21 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
         cs.Px86.Crashstate.heap_break <- st.heap_break;
         (cs, Completed)
   in
+  Metrics.observe h_ops st.ops;
+  (match span_t0 with
+  | Some ts ->
+      Observe.Trace.complete ~cat:"executor"
+        ~args:
+          [
+            ("phase", phase_name exec_id);
+            ("exec_id", string_of_int exec_id);
+            ("plan", plan_label plan);
+            ("ops", string_of_int st.ops);
+            ("outcome", match outcome with Crashed -> "crashed" | Completed -> "completed");
+          ]
+        ~ts_us:ts
+        ~dur_us:(Observe.Trace.now_us () - ts)
+        "exec"
+  | None -> ());
   { outcome; state; ops = st.ops; flush_points = st.flush_points;
     crashed_at_op = st.crashed_at_op }

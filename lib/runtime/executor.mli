@@ -32,6 +32,14 @@ type plan =
       (** crash immediately before the n-th flush/fence operation — the
           model-checking mode's systematic crash points (paper, §6) *)
 
+(** Stable rendering of a plan for trace events and logs. *)
+val plan_label : plan -> string
+
+(** The phase name a scenario execution id maps to ("setup", "pre" or
+    "post") — the tag used by the per-phase executor counters and the
+    [exec] trace spans. *)
+val phase_name : int -> string
+
 type sched_policy =
   | Round_robin
   | Random_sched  (** uniform choice among runnable threads (random mode) *)

@@ -80,7 +80,9 @@ let test_job_count_clamping () =
     [ 0; 2; 16 ]
 
 (* A Cut_random strategy embeds a shared mutable Rng: the engine must
-   refuse to parallelize it (and still complete). *)
+   refuse to parallelize it (and still complete) — and say so, loudly:
+   the fallback emits a warning through the observe layer rather than
+   degrading silently. *)
 let test_cut_random_forces_sequential () =
   let options =
     { Runner.default_options with
@@ -91,8 +93,32 @@ let test_cut_random_forces_sequential () =
         ~plan:Executor.Crash_at_end ~options toy ]
   in
   check "not parallel safe" false (Scenario.parallel_safe (List.hd scenarios));
+  Observe.Log.set_quiet true;
+  Observe.Trace.clear ();
+  Observe.Trace.start ();
   let run = Engine.run ~jobs:4 scenarios in
-  check_int "forced to one domain" 1 run.Engine.stats.Engine.jobs
+  Observe.Trace.stop ();
+  Observe.Log.set_quiet false;
+  check_int "forced to one domain" 1 run.Engine.stats.Engine.jobs;
+  let warned =
+    List.exists
+      (fun (e : Observe.Trace.event) ->
+        e.Observe.Trace.name = "warning" && e.Observe.Trace.cat = "log")
+      (Observe.Trace.events ())
+  in
+  check "degradation warned through the observe layer" true warned;
+  Observe.Trace.clear ();
+  (* jobs=1 was granted, not clamped: no warning. *)
+  Observe.Trace.start ();
+  ignore (Engine.run ~jobs:1 scenarios);
+  Observe.Trace.stop ();
+  let warned_j1 =
+    List.exists
+      (fun (e : Observe.Trace.event) -> e.Observe.Trace.name = "warning")
+      (Observe.Trace.events ())
+  in
+  check "no warning when jobs=1 was requested" false warned_j1;
+  Observe.Trace.clear ()
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot semantics                                                   *)
@@ -159,7 +185,12 @@ let test_engine_stats () =
   check "ops counted" true (stats.Engine.ops > 0);
   check "worker time accumulated" true (stats.Engine.cpu_s >= 0.);
   check "elapsed measured" true (stats.Engine.elapsed_s >= 0.);
-  check_int "domains clamped to batch" 2 stats.Engine.jobs
+  check_int "domains clamped to batch" 2 stats.Engine.jobs;
+  (* The timing-free projection is what determinism comparisons use:
+     repeated runs agree on it even though cpu_s/elapsed_s differ. *)
+  let _, stats' = Runner.model_check_run ~jobs:2 toy in
+  check "structural stats reproducible" true
+    (Engine.structural stats = Engine.structural stats')
 
 let test_scenario_results_in_submission_order () =
   let options = Runner.default_options in
@@ -173,12 +204,9 @@ let test_scenario_results_in_submission_order () =
   in
   let a = Engine.run ~jobs:1 scenarios in
   let b = Engine.run ~jobs:3 scenarios in
-  let sig_of run =
-    List.map
-      (fun (r : Engine.scenario_result) ->
-        (r.Engine.label, List.length r.Engine.races, r.Engine.chain_crashed))
-      run.Engine.results
-  in
+  (* [Engine.signature] drops wall_s, the only field allowed to vary;
+     everything else must match field for field, in submission order. *)
+  let sig_of run = List.map Engine.signature run.Engine.results in
   check "same per-scenario results in same order" true (sig_of a = sig_of b)
 
 let () =
