@@ -258,7 +258,8 @@ let engine_throughput ~jobs () =
         + c "executor/post/stores"
       in
       Printf.printf
-        "{\"bench\":%S,\"jobs\":%d,\"scenarios\":%d,\"executions\":%d,\"ops\":%d,\
+        "{\"bench\":%S,\"jobs\":%d,\"scenarios\":%d,\"faulted\":%d,\
+         \"diverged\":%d,\"executions\":%d,\"ops\":%d,\
          \"elapsed_s_jobs1\":%.6f,\"elapsed_s\":%.6f,\"speedup\":%.3f,\
          \"ops_per_s\":%.1f,\"cpu_s\":%.6f,\
          \"detector_candidates\":%d,\"detector_prefix_expansions\":%d,\
@@ -266,7 +267,8 @@ let engine_throughput ~jobs () =
          \"detector_races_benign\":%d,\"executor_loads\":%d,\
          \"executor_stores\":%d,\"px86_sb_evictions\":%d,\"px86_fb_applies\":%d,\
          \"px86_crashes\":%d}\n"
-        name sn.Engine.jobs sn.Engine.scenarios sn.Engine.executions
+        name sn.Engine.jobs sn.Engine.scenarios sn.Engine.faulted
+        sn.Engine.diverged sn.Engine.executions
         sn.Engine.ops s1.Engine.elapsed_s sn.Engine.elapsed_s
         (s1.Engine.elapsed_s /. sn.Engine.elapsed_s)
         (float_of_int sn.Engine.ops /. sn.Engine.elapsed_s)

@@ -81,6 +81,26 @@ let quiet_flag =
   let doc = "Suppress warnings (e.g. the Cut_random fallback to --jobs 1)." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
+let max_ops_arg =
+  let doc = "Fuel budget: terminate any execution phase after $(docv) scheduled \
+             operations and mark the scenario diverged.  Deterministic — the \
+             same budget trips at the same operation on every run and every \
+             --jobs count." in
+  Arg.(value & opt (some int) None & info [ "max-ops" ] ~doc ~docv:"N")
+
+let timeout_arg =
+  let doc = "Wall-clock budget per execution phase, in seconds.  A \
+             nondeterministic last-resort valve: prefer --max-ops when \
+             reports must stay reproducible." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~doc ~docv:"SECONDS")
+
+let fail_fast_flag =
+  let doc = "Stop at the first scenario fault: cancel the remaining batch \
+             cooperatively and re-raise the fault's exception with its \
+             original backtrace.  Without it, faults are contained and \
+             reported alongside the races." in
+  Arg.(value & flag & info [ "fail-fast" ] ~doc)
+
 (* Arm the observe layer before a detection run... *)
 let observe_setup ~metrics ~trace_out ~quiet =
   Observe.Log.set_quiet quiet;
@@ -103,16 +123,18 @@ let print_metrics_summary ~title metrics =
   if nonzero = [] then print_endline "  (none recorded)"
   else List.iter (fun (name, v) -> Printf.printf "  %-42s %d\n" name v) nonzero
 
-let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false) mode seed =
+let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false)
+    ?max_ops ?max_wall_s mode seed =
   { Pm_harness.Runner.default_options with
     mode; seed; eadr; coherence = not no_coherence;
-    check_candidates = not no_candidates }
+    check_candidates = not no_candidates; max_ops; max_wall_s }
 
-let report_program run_mode opts ~jobs execs (p : Pm_harness.Program.t) =
+let report_program run_mode opts ~jobs ~fail_fast execs (p : Pm_harness.Program.t) =
   match run_mode with
-  | `Mc -> Pm_harness.Runner.model_check ~options:opts ~jobs p
-  | `Mc_recovery -> Pm_harness.Runner.model_check_recovery ~options:opts ~jobs p
-  | `Random -> Pm_harness.Runner.random_mode ~options:opts ~jobs ~execs p
+  | `Mc -> Pm_harness.Runner.model_check ~options:opts ~jobs ~fail_fast p
+  | `Mc_recovery ->
+      Pm_harness.Runner.model_check_recovery ~options:opts ~jobs ~fail_fast p
+  | `Random -> Pm_harness.Runner.random_mode ~options:opts ~jobs ~fail_fast ~execs p
 
 let print_report show_benign (r : Pm_harness.Report.t) =
   if show_benign then print_endline (Pm_harness.Report.to_string r)
@@ -125,7 +147,18 @@ let print_report show_benign (r : Pm_harness.Report.t) =
         Printf.printf "  [race] %s (%d report%s)\n" f.Pm_harness.Report.label
           f.Pm_harness.Report.count
           (if f.Pm_harness.Report.count = 1 then "" else "s"))
-      real
+      real;
+    (* Recovery failures are real findings; contained-fault/divergence
+       counts only appear when non-zero, like in Report.pp. *)
+    List.iter
+      (fun rf ->
+        Printf.printf "  %s\n"
+          (Format.asprintf "%a" Pm_harness.Report.pp_recovery_failure rf))
+      r.Pm_harness.Report.recovery_failures;
+    if r.Pm_harness.Report.fault_count > 0 || r.Pm_harness.Report.diverged > 0
+    then
+      Printf.printf "  [contained] %d scenario fault(s), %d diverged (budget)\n"
+        r.Pm_harness.Report.fault_count r.Pm_harness.Report.diverged
   end
 
 let list_cmd =
@@ -143,7 +176,7 @@ let check_cmd =
            ~doc:"Benchmark name (see $(b,yashme list)).")
   in
   let run bench run_mode dmode execs jobs seed show_benign eadr no_coherence
-      no_candidates metrics trace_out quiet =
+      no_candidates metrics trace_out quiet max_ops timeout fail_fast =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
@@ -152,8 +185,10 @@ let check_cmd =
         observe_setup ~metrics ~trace_out ~quiet;
         let before = if metrics then Observe.Metrics.snapshot () else [] in
         let r =
-          report_program run_mode (options ~eadr ~no_coherence ~no_candidates dmode seed)
-            ~jobs execs p
+          report_program run_mode
+            (options ~eadr ~no_coherence ~no_candidates ?max_ops
+               ?max_wall_s:timeout dmode seed)
+            ~jobs ~fail_fast execs p
         in
         let r =
           if metrics then
@@ -169,7 +204,7 @@ let check_cmd =
     Term.(
       const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
       $ eadr_flag $ no_coherence $ no_candidates $ metrics_flag $ trace_out
-      $ quiet_flag)
+      $ quiet_flag $ max_ops_arg $ timeout_arg $ fail_fast_flag)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -206,14 +241,19 @@ let witness_cmd =
     term
 
 let check_all_cmd =
-  let run run_mode dmode execs jobs seed show_benign metrics trace_out quiet =
+  let run run_mode dmode execs jobs seed show_benign metrics trace_out quiet
+      max_ops timeout fail_fast =
     observe_setup ~metrics ~trace_out ~quiet;
     let suite_before = if metrics then Observe.Metrics.snapshot () else [] in
     let total = ref 0 in
     List.iter
       (fun p ->
         let before = if metrics then Observe.Metrics.snapshot () else [] in
-        let r = report_program run_mode (options dmode seed) ~jobs execs p in
+        let r =
+          report_program run_mode
+            (options ?max_ops ?max_wall_s:timeout dmode seed)
+            ~jobs ~fail_fast execs p
+        in
         let r =
           if metrics then
             Pm_harness.Report.with_metrics r
@@ -234,7 +274,8 @@ let check_all_cmd =
   let term =
     Term.(
       const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
-      $ metrics_flag $ trace_out $ quiet_flag)
+      $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
+      $ fail_fast_flag)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
 

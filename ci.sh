@@ -30,4 +30,24 @@ dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --metrics \
   --trace-out "$trace" --quiet >/dev/null
 dune exec bin/yashme_cli.exe -- trace-lint "$trace"
 
+echo "== fault-injection smoke (budgets + recovery-failure witnesses)"
+# demo-diverge spins forever without a budget; under --max-ops the run
+# must terminate cleanly (exit 0) and classify the spin as diverged.
+out=$(dune exec bin/yashme_cli.exe -- check demo-diverge \
+  --max-ops 400 --jobs 2 --quiet)
+echo "$out" | grep -q "diverged" || {
+  echo "ci: demo-diverge report lacks a diverged classification" >&2
+  echo "$out" >&2
+  exit 1
+}
+# demo-faulty-recovery's recovery raises on a real crash image; the
+# batch must survive and report a recovery-failure finding.
+out=$(dune exec bin/yashme_cli.exe -- check demo-faulty-recovery \
+  --jobs 2 --quiet)
+echo "$out" | grep -q "recovery-failure" || {
+  echo "ci: demo-faulty-recovery report lacks a recovery-failure finding" >&2
+  echo "$out" >&2
+  exit 1
+}
+
 echo "CI OK"

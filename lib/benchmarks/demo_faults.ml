@@ -1,0 +1,60 @@
+open Pm_runtime
+
+(* Deliberately misbehaving programs exercising the harness's fault
+   isolation.  Not part of the paper's suite ({!Registry.all}): they
+   exist for the fault-injection smoke tests and as runnable
+   documentation of --max-ops / recovery-failure findings. *)
+
+(* One durable counter at root 0, then a spin that never terminates:
+   every iteration is a scheduled operation (a load and a yield), so a
+   --max-ops fuel budget kills the phase deterministically.  A plan
+   that crashes before the first flush never reaches the spin. *)
+let diverge =
+  let setup () =
+    let a = Pmem.alloc ~align:64 8 in
+    Pmem.set_root 0 a
+  in
+  let pre () =
+    let a = Pmem.get_root 0 in
+    Pmem.store_int ~label:"demo.counter" a 1;
+    Pmem.clflush a;
+    Pmem.mfence ();
+    while Pmem.load_int a >= 0 do
+      Pmem.yield ()
+    done
+  in
+  let post () =
+    let a = Pmem.get_root 0 in
+    ignore (Pmem.load_int a)
+  in
+  Pm_harness.Program.make ~name:"demo-diverge" ~setup ~pre ~post ()
+
+(* Two mirror fields on distinct cache lines, each persisted on its
+   own before the next is written.  A crash between the two updates
+   leaves them unequal, and the recovery procedure — which assumes the
+   mirrors always agree instead of repairing them — raises on that real
+   crash image: the shape of a WITCHER-style recovery failure. *)
+let faulty_recovery =
+  let setup () =
+    let a = Pmem.alloc ~align:64 128 in
+    Pmem.set_root 0 a
+  in
+  let pre () =
+    let a = Pmem.get_root 0 in
+    Pmem.store_int ~label:"demo.mirror_x" a 1;
+    Pmem.clflush a;
+    Pmem.mfence ();
+    Pmem.store_int ~label:"demo.mirror_y" (a + 64) 1;
+    Pmem.clflush (a + 64);
+    Pmem.mfence ()
+  in
+  let post () =
+    let a = Pmem.get_root 0 in
+    let x = Pmem.load_int a in
+    let y = Pmem.load_int (a + 64) in
+    if x <> y then
+      failwith (Printf.sprintf "mirror fields differ after crash: x=%d y=%d" x y)
+  in
+  Pm_harness.Program.make ~name:"demo-faulty-recovery" ~setup ~pre ~post ()
+
+let all = [ diverge; faulty_recovery ]

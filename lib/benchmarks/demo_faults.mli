@@ -1,0 +1,16 @@
+(** Deliberately misbehaving demo programs for the harness's fault
+    isolation.  Findable through {!Registry.find} but excluded from
+    {!Registry.all} (they are not part of the paper's suite).
+
+    - [demo-diverge]: the pre-crash phase spins forever after its first
+      flush; only a [--max-ops] fuel budget (or [--timeout]) terminates
+      it, marking the scenario diverged.
+    - [demo-faulty-recovery]: the pre-crash phase flushes only one of
+      two mirror fields, so a crash at program end tears them and the
+      recovery procedure raises — a recovery-failure finding. *)
+
+val diverge : Pm_harness.Program.t
+val faulty_recovery : Pm_harness.Program.t
+
+(** Both demos, in the order above. *)
+val all : Pm_harness.Program.t list

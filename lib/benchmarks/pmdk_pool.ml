@@ -81,10 +81,11 @@ let tx_undo t f =
       Pmdk_undolog.seal t.undo;
       Pmdk_undolog.discard t.undo
   | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
       t.in_undo_tx <- false;
       (* Abort: restore the snapshots. *)
       ignore (Pmdk_undolog.recover t.undo);
-      raise e
+      Printexc.raise_with_backtrace e bt
 
 let tx t f =
   if t.in_tx || t.in_undo_tx then
@@ -97,7 +98,8 @@ let tx t f =
       Pmdk_ulog.apply t.log;
       Pmdk_ulog.clear t.log
   | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
       t.in_tx <- false;
       (* Abort: discard the uncommitted log. *)
       Pmdk_ulog.clear t.log;
-      raise e)
+      Printexc.raise_with_backtrace e bt)

@@ -21,15 +21,21 @@ let frameworks =
 
 let all = indexes @ frameworks
 
+(* Fault-injection demos: findable by name, never part of [all] (they
+   are not in the paper's suite, and demo-diverge only terminates under
+   a budget). *)
+let demos = Demo_faults.all
+
 let find name =
   let target = String.lowercase_ascii name in
   match
     List.find_opt
       (fun (p : Pm_harness.Program.t) ->
         String.lowercase_ascii p.Pm_harness.Program.name = target)
-      all
+      (all @ demos)
   with
   | Some p -> p
   | None -> raise Not_found
 
-let names () = List.map (fun (p : Pm_harness.Program.t) -> p.Pm_harness.Program.name) all
+let names () =
+  List.map (fun (p : Pm_harness.Program.t) -> p.Pm_harness.Program.name) (all @ demos)

@@ -11,7 +11,13 @@ val indexes : Pm_harness.Program.t list
     structures, Redis, Memcached. *)
 val frameworks : Pm_harness.Program.t list
 
-(** Find by (case-insensitive) name; raises [Not_found]. *)
+(** Fault-injection demos ({!Demo_faults}); findable by name but never
+    part of {!all}. *)
+val demos : Pm_harness.Program.t list
+
+(** Find by (case-insensitive) name, demos included; raises
+    [Not_found]. *)
 val find : string -> Pm_harness.Program.t
 
+(** Program names, demos included (what [yashme list] prints). *)
 val names : unit -> string list

@@ -19,7 +19,8 @@ let run_setup (opts : Scenario.options) (p : Program.t) =
   | Some setup ->
       let r =
         Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.Scenario.sb_policy
-          ~seed:opts.Scenario.seed ~exec_id:setup_exec setup
+          ~seed:opts.Scenario.seed ?max_ops:opts.Scenario.max_ops
+          ?max_wall_s:opts.Scenario.max_wall_s ~exec_id:setup_exec setup
       in
       Some r.Executor.state
 
@@ -49,7 +50,9 @@ let run_phase ?detector ?observer ?inherited ~(options : Scenario.options) ~plan
   Executor.run ?detector ?observer ?inherited ~plan
     ~sb_policy:options.Scenario.sb_policy ~cut:options.Scenario.cut
     ~sched:options.Scenario.sched ~seed
-    ~check_candidates:options.Scenario.check_candidates ~exec_id body
+    ~check_candidates:options.Scenario.check_candidates
+    ?max_ops:options.Scenario.max_ops ?max_wall_s:options.Scenario.max_wall_s
+    ~exec_id body
 
 (* The one recovery path: every post-crash [Executor.run] in the
    harness goes through this helper. *)
@@ -63,6 +66,7 @@ let run_recovery ?detector ?observer ~options ~inherited ~seed ~exec_id post =
 let crash_fired ~plan (r : Executor.result) =
   match r.Executor.outcome with
   | Executor.Crashed -> true
+  | Executor.Diverged -> false
   | Executor.Completed -> (
       match plan with
       | Executor.Crash_at_end -> true
@@ -72,16 +76,33 @@ let crash_fired ~plan (r : Executor.result) =
 (* ------------------------------------------------------------------ *)
 (* Scenario execution                                                   *)
 
-type scenario_result = {
+type completed = {
   label : string;
   races : Yashme.Race.t list;
   chain_crashed : bool;
+  diverged : bool;
   executions : int;
   ops : int;
   flush_points : int;
   post_flush_points : int option;
   wall_s : float;
 }
+
+type fault = {
+  f_info : Finding.fault;
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+  f_races : Yashme.Race.t list;
+  f_executions : int;
+  f_ops : int;
+  f_wall_s : float;
+}
+
+type scenario_result = Completed of completed | Faulted of fault
+
+let m_faults = Observe.Metrics.counter "engine/faults"
+let m_recovery_failures = Observe.Metrics.counter "engine/recovery_failures"
+let m_cancelled = Observe.Metrics.counter "engine/cancelled"
 
 let run_scenario (s : Scenario.t) =
   let open Scenario in
@@ -97,59 +118,124 @@ let run_scenario (s : Scenario.t) =
     Yashme.Detector.create ~mode:opts.mode ~eadr:opts.eadr
       ~coherence:opts.coherence ()
   in
-  let inherited =
-    match s.setup with
-    | No_setup -> None
-    | Snapshot cs -> Some (Px86.Crashstate.copy cs)
-    | Run_setup fn ->
-        (* Mirror [run_setup]: default round-robin scheduling, no
-           detector — the setup phase is trusted. *)
-        let r =
-          count
-            (Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.sb_policy
-               ~seed:opts.seed ~exec_id:setup_exec fn)
-        in
-        Some r.Executor.state
+  (* Sandbox bookkeeping: which phase is executing, whether a real crash
+     preceded it (a raising recovery then witnesses a crash-consistency
+     bug, not an infrastructure fault), and whether any phase was
+     terminated by a budget. *)
+  let phase = ref Finding.Setup in
+  let crash_seen = ref false in
+  let diverged = ref false in
+  let note (r : Executor.result) =
+    if r.Executor.outcome = Executor.Diverged then diverged := true;
+    r
   in
-  let pre_result =
-    count
-      (run_phase ~detector ?inherited ~options:opts ~plan:s.plan ~seed:opts.seed
-         ~exec_id:pre_exec s.pre)
+  let body () =
+    let inherited =
+      match s.setup with
+      | No_setup -> None
+      | Snapshot cs -> Some (Px86.Crashstate.copy cs)
+      | Run_setup fn ->
+          (* Mirror [run_setup]: default round-robin scheduling, no
+             detector — the setup phase is trusted. *)
+          let r =
+            note
+              (count
+                 (Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.sb_policy
+                    ~seed:opts.seed ?max_ops:opts.max_ops
+                    ?max_wall_s:opts.max_wall_s ~exec_id:setup_exec fn))
+          in
+          Some r.Executor.state
+    in
+    phase := Finding.Pre_crash;
+    let pre_result =
+      note
+        (count
+           (run_phase ~detector ?inherited ~options:opts ~plan:s.plan
+              ~seed:opts.seed ~exec_id:pre_exec s.pre))
+    in
+    let post_flush_points = ref None in
+    let chain_crashed =
+      crash_fired ~plan:s.plan pre_result
+      && begin
+           crash_seen := true;
+           phase := Finding.Recovery 0;
+           let r1 =
+             note
+               (count
+                  (run_phase ~detector ~options:opts
+                     ~inherited:pre_result.Executor.state ~plan:s.post_plan
+                     ~seed:(opts.seed + 1) ~exec_id:post_exec s.post))
+           in
+           post_flush_points := Some r1.Executor.flush_points;
+           match s.post_plan with
+           | Executor.Run_to_end -> true
+           | _ ->
+               let fired = crash_fired ~plan:s.post_plan r1 in
+               if fired then begin
+                 phase := Finding.Recovery 1;
+                 ignore
+                   (note
+                      (count
+                         (run_recovery ~detector ~options:opts
+                            ~inherited:r1.Executor.state ~seed:(opts.seed + 2)
+                            ~exec_id:(post_exec + 1) s.post)))
+               end;
+               fired
+         end
+    in
+    {
+      label = s.label;
+      races = Yashme.Detector.races detector;
+      chain_crashed;
+      diverged = !diverged;
+      executions = !execs;
+      ops = !ops;
+      flush_points = pre_result.Executor.flush_points;
+      post_flush_points = !post_flush_points;
+      wall_s = now () -. t0;
+    }
   in
-  let post_flush_points = ref None in
-  let chain_crashed =
-    crash_fired ~plan:s.plan pre_result
-    && begin
-         let r1 =
-           count
-             (run_phase ~detector ~options:opts
-                ~inherited:pre_result.Executor.state ~plan:s.post_plan
-                ~seed:(opts.seed + 1) ~exec_id:post_exec s.post)
-         in
-         post_flush_points := Some r1.Executor.flush_points;
-         match s.post_plan with
-         | Executor.Run_to_end -> true
-         | _ ->
-             let fired = crash_fired ~plan:s.post_plan r1 in
-             if fired then
-               ignore
-                 (count
-                    (run_recovery ~detector ~options:opts
-                       ~inherited:r1.Executor.state ~seed:(opts.seed + 2)
-                       ~exec_id:(post_exec + 1) s.post));
-             fired
-       end
-  in
-  {
-    label = s.label;
-    races = Yashme.Detector.races detector;
-    chain_crashed;
-    executions = !execs;
-    ops = !ops;
-    flush_points = pre_result.Executor.flush_points;
-    post_flush_points = !post_flush_points;
-    wall_s = now () -. t0;
-  }
+  match body () with
+  | c -> Completed c
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      let info =
+        {
+          Finding.label = s.label;
+          phase = !phase;
+          exn_text = Printexc.to_string e;
+          backtrace = Printexc.raw_backtrace_to_string bt;
+          plan = Executor.plan_label s.plan;
+          post_plan = Executor.plan_label s.post_plan;
+          seed = opts.seed;
+          crash_fired = !crash_seen;
+        }
+      in
+      Observe.Metrics.incr m_faults;
+      if Finding.is_recovery_failure info then
+        Observe.Metrics.incr m_recovery_failures;
+      if Observe.Trace.recording () then
+        Observe.Trace.instant ~cat:"engine" "fault"
+          ~args:
+            [
+              ("label", s.label);
+              ("phase", Finding.phase_label !phase);
+              ("plan", info.Finding.plan);
+              ("exn", info.Finding.exn_text);
+              ( "kind",
+                if Finding.is_recovery_failure info then "recovery_failure"
+                else "fault" );
+            ];
+      Faulted
+        {
+          f_info = info;
+          f_exn = e;
+          f_backtrace = bt;
+          f_races = Yashme.Detector.races detector;
+          f_executions = !execs;
+          f_ops = !ops;
+          f_wall_s = now () -. t0;
+        }
 
 (* ------------------------------------------------------------------ *)
 (* The worker pool                                                      *)
@@ -157,6 +243,10 @@ let run_scenario (s : Scenario.t) =
 type stats = {
   jobs : int;
   scenarios : int;
+  completed : int;
+  faulted : int;
+  diverged : int;
+  cancelled : int;
   executions : int;
   ops : int;
   cpu_s : float;
@@ -164,12 +254,17 @@ type stats = {
 }
 
 (* The timing-free projection: what determinism comparisons may look
-   at.  [cpu_s]/[elapsed_s] (and [scenario_result.wall_s]) vary run to
-   run, so polymorphic equality over the full records is latently
-   flaky — compare these instead. *)
+   at.  [cpu_s]/[elapsed_s] (and the wall times) vary run to run, so
+   polymorphic equality over the full records is latently flaky —
+   compare these instead.  [cancelled] is also excluded: under
+   fail-fast with several domains, how many queue entries were already
+   claimed when the stop flag rose is scheduling-dependent. *)
 type structural_stats = {
   s_jobs : int;
   s_scenarios : int;
+  s_completed : int;
+  s_faulted : int;
+  s_diverged : int;
   s_executions : int;
   s_ops : int;
 }
@@ -178,34 +273,70 @@ let structural stats =
   {
     s_jobs = stats.jobs;
     s_scenarios = stats.scenarios;
+    s_completed = stats.completed;
+    s_faulted = stats.faulted;
+    s_diverged = stats.diverged;
     s_executions = stats.executions;
     s_ops = stats.ops;
   }
 
-type scenario_sig = {
+type completed_sig = {
   sig_label : string;
   sig_races : Yashme.Race.t list;
   sig_chain_crashed : bool;
+  sig_diverged : bool;
   sig_executions : int;
   sig_ops : int;
   sig_flush_points : int;
   sig_post_flush_points : int option;
 }
 
-let signature (r : scenario_result) =
-  {
-    sig_label = r.label;
-    sig_races = r.races;
-    sig_chain_crashed = r.chain_crashed;
-    sig_executions = r.executions;
-    sig_ops = r.ops;
-    sig_flush_points = r.flush_points;
-    sig_post_flush_points = r.post_flush_points;
-  }
+type fault_sig = {
+  sig_f_label : string;
+  sig_f_phase : Finding.phase;
+  sig_f_exn : string;
+  sig_f_plan : string;
+  sig_f_post_plan : string;
+  sig_f_seed : int;
+  sig_f_crash_fired : bool;
+  sig_f_races : Yashme.Race.t list;
+  sig_f_executions : int;
+  sig_f_ops : int;
+}
+
+type scenario_sig = Sig_completed of completed_sig | Sig_faulted of fault_sig
+
+let signature = function
+  | Completed r ->
+      Sig_completed
+        {
+          sig_label = r.label;
+          sig_races = r.races;
+          sig_chain_crashed = r.chain_crashed;
+          sig_diverged = r.diverged;
+          sig_executions = r.executions;
+          sig_ops = r.ops;
+          sig_flush_points = r.flush_points;
+          sig_post_flush_points = r.post_flush_points;
+        }
+  | Faulted f ->
+      Sig_faulted
+        {
+          sig_f_label = f.f_info.Finding.label;
+          sig_f_phase = f.f_info.Finding.phase;
+          sig_f_exn = f.f_info.Finding.exn_text;
+          sig_f_plan = f.f_info.Finding.plan;
+          sig_f_post_plan = f.f_info.Finding.post_plan;
+          sig_f_seed = f.f_info.Finding.seed;
+          sig_f_crash_fired = f.f_info.Finding.crash_fired;
+          sig_f_races = f.f_races;
+          sig_f_executions = f.f_executions;
+          sig_f_ops = f.f_ops;
+        }
 
 type run_result = { results : scenario_result list; stats : stats }
 
-let run ?(jobs = 1) scenarios =
+let run ?(jobs = 1) ?(fail_fast = false) scenarios =
   let t0 = now () in
   let arr = Array.of_list scenarios in
   let n = Array.length arr in
@@ -223,6 +354,11 @@ let run ?(jobs = 1) scenarios =
   in
   let out = Array.make n None in
   let next = Atomic.make 0 in
+  (* Cooperative cancellation for fail-fast: a worker that records a
+     fault raises the flag; every worker re-checks it before claiming
+     the next queue entry, so in-flight scenarios finish but the rest
+     of the queue is cancelled — never silently "completed". *)
+  let stop = Atomic.make false in
   (* Workers claim the next unstarted scenario; each result lands in
      its scenario's slot, so the merge below is in submission order no
      matter which domain finished first.  Each worker owns trace lane
@@ -236,24 +372,27 @@ let run ?(jobs = 1) scenarios =
       "worker"
       (fun () ->
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            let s = arr.(i) in
-            (out.(i) <-
-               Some
-                 (Observe.Span.with_ ~cat:"scenario"
-                    ~args:
-                      [
-                        ("index", string_of_int i);
-                        ("label", s.Scenario.label);
-                        ("plan", Executor.plan_label s.Scenario.plan);
-                      ]
-                    s.Scenario.label
-                    (fun () ->
-                      match run_scenario s with
-                      | r -> Ok r
-                      | exception e -> Error e)));
-            loop ()
+          if not (Atomic.get stop) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              let s = arr.(i) in
+              let r =
+                Observe.Span.with_ ~cat:"scenario"
+                  ~args:
+                    [
+                      ("index", string_of_int i);
+                      ("label", s.Scenario.label);
+                      ("plan", Executor.plan_label s.Scenario.plan);
+                    ]
+                  s.Scenario.label
+                  (fun () -> run_scenario s)
+              in
+              out.(i) <- Some r;
+              (match r with
+              | Faulted _ when fail_fast -> Atomic.set stop true
+              | Faulted _ | Completed _ -> ());
+              loop ()
+            end
           end
         in
         loop ());
@@ -271,28 +410,73 @@ let run ?(jobs = 1) scenarios =
         worker 0;
         List.iter Domain.join helpers
       end);
-  let results =
-    Array.to_list out
-    |> List.map (function
-         | Some (Ok r) -> r
-         | Some (Error e) -> raise e
-         | None -> assert false)
-  in
+  let cancelled = ref 0 in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some _ -> ()
+      | None ->
+          incr cancelled;
+          Observe.Metrics.incr m_cancelled;
+          if Observe.Trace.recording () then
+            Observe.Trace.instant ~cat:"engine" "cancelled"
+              ~args:
+                [
+                  ("index", string_of_int i);
+                  ("label", arr.(i).Scenario.label);
+                ])
+    out;
+  if fail_fast then begin
+    (* Re-raise the earliest-submitted recorded fault with its original
+       backtrace.  (With several domains, a later-submitted scenario may
+       fault first in wall time; the submission-order scan keeps the
+       choice as deterministic as cancellation allows.) *)
+    let first_fault =
+      Array.to_seq out
+      |> Seq.find_map (function Some (Faulted f) -> Some f | _ -> None)
+    in
+    match first_fault with
+    | Some f -> Printexc.raise_with_backtrace f.f_exn f.f_backtrace
+    | None -> ()
+  end;
+  let results = Array.to_list out |> List.filter_map Fun.id in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let execs = function Completed c -> c.executions | Faulted f -> f.f_executions in
+  let ops = function Completed c -> c.ops | Faulted f -> f.f_ops in
+  let wall = function Completed c -> c.wall_s | Faulted f -> f.f_wall_s in
+  let count p = sum (fun r -> if p r then 1 else 0) in
   let stats =
     {
       jobs;
       scenarios = n;
-      executions = sum (fun r -> r.executions);
-      ops = sum (fun r -> r.ops);
-      cpu_s = List.fold_left (fun acc r -> acc +. r.wall_s) 0. results;
+      completed = count (function Completed _ -> true | Faulted _ -> false);
+      faulted = count (function Faulted _ -> true | Completed _ -> false);
+      diverged = count (function Completed c -> c.diverged | Faulted _ -> false);
+      cancelled = !cancelled;
+      executions = sum execs;
+      ops = sum ops;
+      cpu_s = List.fold_left (fun acc r -> acc +. wall r) 0. results;
       elapsed_s = now () -. t0;
     }
   in
   { results; stats }
 
 (* Merged races of a run, in scenario order (see
-   {!Yashme.Race.merge_ordered} for why order matters). *)
-let races ?(keep = fun (_ : scenario_result) -> true) run =
+   {!Yashme.Race.merge_ordered} for why order matters).  Races observed
+   before a fault are genuine evidence and are kept. *)
+let races ?(keep = fun (_ : completed) -> true) run =
   Yashme.Race.merge_ordered
-    (List.map (fun r -> if keep r then r.races else []) run.results)
+    (List.map
+       (function
+         | Completed c -> if keep c then c.races else []
+         | Faulted f -> f.f_races)
+       run.results)
+
+(* Faults of a run, in submission order — the list {!Report.dedup}
+   folds into recovery-failure findings and fault counts. *)
+let faults run =
+  List.filter_map
+    (function Faulted f -> Some f.f_info | Completed _ -> None)
+    run.results
+
+let diverged_count run = run.stats.diverged

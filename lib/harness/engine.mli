@@ -17,18 +17,44 @@
       the deduplicated race report byte-identical to a sequential run
       (see {!Yashme.Race.merge_ordered}).
 
+    {b Fault isolation.}  A misbehaving scenario never poisons the
+    batch.  {!run_scenario} sandboxes every phase: an exception raised
+    by setup, pre-crash or recovery code is captured (with its raw
+    backtrace) into a {!fault} and the scenario completes as
+    {!Faulted}; a phase that exceeds a {!Scenario.options} budget
+    ([max_ops] fuel / [max_wall_s]) is terminated by the executor with
+    {!Pm_runtime.Executor.Diverged} and the scenario completes with
+    [diverged = true].  {!run} therefore returns {e all} results —
+    partial batches survive — unless the opt-in [fail_fast] is set, in
+    which case workers cancel the remaining queue cooperatively (an
+    [Atomic] stop flag checked before each claim) and the
+    earliest-submitted recorded fault is re-raised with
+    [Printexc.raise_with_backtrace].
+
+    A recovery phase that raises after a {e real} crash is classified
+    by {!Finding.is_recovery_failure}: WITCHER-style crash-consistency
+    evidence, merged into {!Report} alongside persistency races.
+
     Determinism contract: for any [jobs >= 1], [run ~jobs scenarios]
-    returns the same {!scenario_result} list (modulo [wall_s]; compare
-    with {!signature} / {!structural}) as [run ~jobs:1 scenarios].
-    Scenarios whose options are not domain-safe
-    ({!Scenario.parallel_safe}) force [jobs = 1], with a warning
-    through {!Observe.Log} when a higher job count was requested.
+    returns the same {!scenario_result} list (modulo wall times;
+    compare with {!signature} / {!structural}) as [run ~jobs:1
+    scenarios] — faults and fuel divergences included.  Wall-clock
+    budgets and fail-fast cancellation are the two knobs that trade
+    this determinism away (documented per knob).  Scenarios whose
+    options are not domain-safe ({!Scenario.parallel_safe}) force
+    [jobs = 1], with a warning through {!Observe.Log} when a higher job
+    count was requested.
 
     Observability: when the {!Observe.Trace} sink is recording, the
     engine emits a [batch] span plus per-worker [worker] spans (trace
     lane pid 0, tid = worker slot) containing one [scenario] span per
     scenario, tagged with submission index, label and crash plan;
-    executor and machine sub-spans inherit the worker's lane.  Metrics
+    executor and machine sub-spans inherit the worker's lane.  Faults
+    raise [fault] instants in the faulting worker's lane, divergences
+    raise [diverged] instants (executor), cancelled queue entries raise
+    [cancelled] instants; counters [engine/faults],
+    [engine/recovery_failures], [engine/cancelled] and
+    [executor/divergences] accumulate in {!Observe.Metrics}.  Metrics
     are merged outside the race-report path and never affect it. *)
 
 (** Execution ids within one failure scenario. *)
@@ -48,7 +74,8 @@ val run_setup : Scenario.options -> Program.t -> Px86.Crashstate.t option
 val materialize_setup : options:Scenario.options -> Program.t -> Scenario.setup
 
 (** Run one phase of a scenario.  All pre-crash, recovery and
-    crashed-recovery executions go through this single code path. *)
+    crashed-recovery executions go through this single code path,
+    including the budget options. *)
 val run_phase :
   ?detector:Yashme.Detector.t ->
   ?observer:Px86.Observer.t ->
@@ -74,15 +101,18 @@ val run_recovery :
 
 (** Did this run's crash plan actually fire?  ([Crash_at_end] completes
     and then crashes; a targeted plan that never fired leaves a cleanly
-    shut-down state with no crash.) *)
+    shut-down state with no crash; a {!Pm_runtime.Executor.Diverged}
+    run was killed by a budget, not a crash.) *)
 val crash_fired : plan:Pm_runtime.Executor.plan -> Pm_runtime.Executor.result -> bool
 
-type scenario_result = {
+type completed = {
   label : string;
   races : Yashme.Race.t list;  (** the scenario detector's raw races *)
   chain_crashed : bool;
       (** every crash plan in the scenario's chain fired (for two-crash
           scenarios: the recovery crash fired too) *)
+  diverged : bool;
+      (** some phase was terminated by a [max_ops]/[max_wall_s] budget *)
   executions : int;  (** executor runs, including a re-run setup *)
   ops : int;  (** memory/flush operations executed across the chain *)
   flush_points : int;  (** flush points of the pre-crash run *)
@@ -92,12 +122,33 @@ type scenario_result = {
   wall_s : float;
 }
 
-(** Execute one scenario on the calling domain. *)
+(** A sandboxed scenario phase exception: the reportable projection
+    ({!Finding.fault}), the raw exception + backtrace for the
+    fail-fast re-raise, and the partial evidence gathered before the
+    fault. *)
+type fault = {
+  f_info : Finding.fault;
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+  f_races : Yashme.Race.t list;  (** races detected before the fault *)
+  f_executions : int;
+  f_ops : int;
+  f_wall_s : float;
+}
+
+type scenario_result = Completed of completed | Faulted of fault
+
+(** Execute one scenario on the calling domain.  Never raises: phase
+    exceptions are captured as {!Faulted}. *)
 val run_scenario : Scenario.t -> scenario_result
 
 type stats = {
   jobs : int;  (** worker domains actually used *)
   scenarios : int;
+  completed : int;
+  faulted : int;
+  diverged : int;  (** completed scenarios with a budget-killed phase *)
+  cancelled : int;  (** queue entries cancelled by fail-fast (else 0) *)
   executions : int;
   ops : int;
   cpu_s : float;  (** sum of per-scenario wall times (worker-side) *)
@@ -106,10 +157,14 @@ type stats = {
 
 (** The timing-free projection of {!stats}: determinism comparisons
     must use this (or {!signature}), never polymorphic equality over
-    the full records — [cpu_s]/[elapsed_s]/[wall_s] vary run to run. *)
+    the full records — [cpu_s]/[elapsed_s]/wall times vary run to run,
+    and [cancelled] is scheduling-dependent under fail-fast. *)
 type structural_stats = {
   s_jobs : int;
   s_scenarios : int;
+  s_completed : int;
+  s_faulted : int;
+  s_diverged : int;
   s_executions : int;
   s_ops : int;
 }
@@ -117,16 +172,34 @@ type structural_stats = {
 val structural : stats -> structural_stats
 
 (** The timing-free projection of a {!scenario_result} (everything but
-    [wall_s]). *)
-type scenario_sig = {
+    the wall times and the fault's backtrace, whose rendering depends
+    on the build). *)
+
+type completed_sig = {
   sig_label : string;
   sig_races : Yashme.Race.t list;
   sig_chain_crashed : bool;
+  sig_diverged : bool;
   sig_executions : int;
   sig_ops : int;
   sig_flush_points : int;
   sig_post_flush_points : int option;
 }
+
+type fault_sig = {
+  sig_f_label : string;
+  sig_f_phase : Finding.phase;
+  sig_f_exn : string;
+  sig_f_plan : string;
+  sig_f_post_plan : string;
+  sig_f_seed : int;
+  sig_f_crash_fired : bool;
+  sig_f_races : Yashme.Race.t list;
+  sig_f_executions : int;
+  sig_f_ops : int;
+}
+
+type scenario_sig = Sig_completed of completed_sig | Sig_faulted of fault_sig
 
 val signature : scenario_result -> scenario_sig
 
@@ -134,11 +207,28 @@ type run_result = { results : scenario_result list; stats : stats }
 
 (** Execute the batch on [jobs] domains (default 1; clamped to the
     batch size and to 1 for non-{!Scenario.parallel_safe} batches).
-    Results are in submission order.  A scenario that raises aborts the
-    batch: the exception of the earliest-submitted failing scenario is
-    re-raised after all workers have drained. *)
-val run : ?jobs:int -> Scenario.t list -> run_result
+    Results are in submission order and {e complete}: faulting
+    scenarios appear as {!Faulted}, healthy ones as {!Completed}, and
+    no result is ever discarded.
 
-(** Merged races in scenario order; [keep] filters whole scenarios
-    (e.g. two-crash drivers keep only [chain_crashed] scenarios). *)
-val races : ?keep:(scenario_result -> bool) -> run_result -> Yashme.Race.t list
+    With [fail_fast] (default false), a recorded fault raises a stop
+    flag that workers check before claiming the next queue entry;
+    remaining entries are cancelled (visible as [engine/cancelled]
+    counter ticks and [cancelled] trace instants, since the result
+    record never materializes) and the earliest-submitted recorded
+    fault's exception is re-raised with its original backtrace once all
+    workers have drained. *)
+val run : ?jobs:int -> ?fail_fast:bool -> Scenario.t list -> run_result
+
+(** Merged races in scenario order; [keep] filters completed scenarios
+    (e.g. two-crash drivers keep only [chain_crashed] scenarios).
+    Races a faulting scenario detected before its fault are always
+    kept. *)
+val races : ?keep:(completed -> bool) -> run_result -> Yashme.Race.t list
+
+(** Faults of the run, in submission order — feed to
+    {!Report.dedup}'s [faults] argument. *)
+val faults : run_result -> Finding.fault list
+
+(** Number of completed scenarios with a budget-killed phase. *)
+val diverged_count : run_result -> int

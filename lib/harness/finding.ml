@@ -1,0 +1,38 @@
+type phase = Setup | Pre_crash | Recovery of int
+
+let phase_label = function
+  | Setup -> "setup"
+  | Pre_crash -> "pre"
+  | Recovery 0 -> "recovery"
+  | Recovery n -> Printf.sprintf "recovery#%d" (n + 1)
+
+type fault = {
+  label : string;
+  phase : phase;
+  exn_text : string;
+  backtrace : string;
+  plan : string;
+  post_plan : string;
+  seed : int;
+  crash_fired : bool;
+}
+
+let is_recovery_failure f =
+  f.crash_fired && (match f.phase with Recovery _ -> true | Setup | Pre_crash -> false)
+
+(* The dedup key deliberately excludes the backtrace (whose rendering
+   depends on the build) and the seed (reported separately as the repro
+   handle): one recovery bug observed from several crash plans of the
+   same scenario label still folds per (label, plan, exception). *)
+let recovery_failure_key f =
+  Printf.sprintf "%s @ %s%s: %s" f.label f.plan
+    (if f.post_plan = "run_to_end" then "" else "+" ^ f.post_plan)
+    f.exn_text
+
+let pp ppf f =
+  Format.fprintf ppf "fault in %s phase of %s @ %s%s: %s" (phase_label f.phase)
+    f.label f.plan
+    (if f.post_plan = "run_to_end" then "" else "+" ^ f.post_plan)
+    f.exn_text
+
+let to_string f = Format.asprintf "%a" pp f

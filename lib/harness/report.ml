@@ -5,11 +5,20 @@ type finding = {
   example : Yashme.Race.t;
 }
 
+type recovery_failure = {
+  rf_key : string;
+  rf_example : Finding.fault;
+  rf_count : int;
+}
+
 type t = {
   program : string;
   executions : int;
   raw_races : int;
   findings : finding list;
+  recovery_failures : recovery_failure list;
+  fault_count : int;
+  diverged : int;
   metrics : (string * int) list;
       (* observe-layer counters attributed to this report (e.g. the
          per-program Metrics.diff the CLI attaches under --metrics);
@@ -19,7 +28,7 @@ type t = {
 
 let m_duplicates = Observe.Metrics.counter "report/duplicate_races"
 
-let dedup ~program ~executions races =
+let dedup ~program ~executions ?(faults = []) ?(diverged = 0) races =
   let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (r : Yashme.Race.t) ->
@@ -42,12 +51,50 @@ let dedup ~program ~executions races =
     Hashtbl.fold (fun _ f acc -> f :: acc) tbl []
     |> List.sort (fun a b -> compare a.label b.label)
   in
-  { program; executions; raw_races = List.length races; findings; metrics = [] }
+  (* Faults arrive in submission order; the exemplar of each
+     recovery-failure key is the first observation, so the report is
+     independent of which domain hit it first. *)
+  let rf_tbl : (string, recovery_failure) Hashtbl.t = Hashtbl.create 8 in
+  let fault_count = ref 0 in
+  List.iter
+    (fun (f : Finding.fault) ->
+      if Finding.is_recovery_failure f then begin
+        let key = Finding.recovery_failure_key f in
+        match Hashtbl.find_opt rf_tbl key with
+        | None -> Hashtbl.add rf_tbl key { rf_key = key; rf_example = f; rf_count = 1 }
+        | Some r -> Hashtbl.replace rf_tbl key { r with rf_count = r.rf_count + 1 }
+      end
+      else incr fault_count)
+    faults;
+  let recovery_failures =
+    Hashtbl.fold (fun _ r acc -> r :: acc) rf_tbl []
+    |> List.sort (fun a b -> compare a.rf_key b.rf_key)
+  in
+  {
+    program;
+    executions;
+    raw_races = List.length races;
+    findings;
+    recovery_failures;
+    fault_count = !fault_count;
+    diverged;
+    metrics = [];
+  }
 
 let with_metrics t metrics = { t with metrics }
 
 let real t = List.filter (fun f -> not f.benign) t.findings
 let benign t = List.filter (fun f -> f.benign) t.findings
+
+let pp_recovery_failure ppf r =
+  Format.fprintf ppf "[recovery-failure] %s (seed %d) (%d report%s)" r.rf_key
+    r.rf_example.Finding.seed r.rf_count
+    (if r.rf_count = 1 then "" else "s")
+
+let pp_contained ppf t =
+  if t.fault_count > 0 || t.diverged > 0 then
+    Format.fprintf ppf "@,  [contained] %d scenario fault(s), %d diverged (budget)"
+      t.fault_count t.diverged
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s: %d distinct persistency race(s) (%d raw, %d benign) in %d execution(s)"
@@ -63,6 +110,10 @@ let pp ppf t =
         f.label f.count
         (if f.count = 1 then "" else "s"))
     t.findings;
+  List.iter
+    (fun r -> Format.fprintf ppf "@,  %a" pp_recovery_failure r)
+    t.recovery_failures;
+  pp_contained ppf t;
   Format.fprintf ppf "@]"
 
 let to_string t = Format.asprintf "%a" pp t

@@ -1,9 +1,20 @@
-(** Aggregated race findings for one program.
+(** Aggregated findings for one program: persistency races plus
+    recovery-failure witnesses.
 
     Raw race reports are deduplicated by source-level field label — the
     granularity of the paper's Tables 3 and 4 (one row per field).
     Benign (checksum-validated) findings are kept but flagged, matching
-    section 7.5. *)
+    section 7.5.
+
+    Scenario faults captured by the engine ride along: recovery-phase
+    faults on a real crash image ({!Finding.is_recovery_failure}) are
+    first-class findings — WITCHER-style crash-consistency evidence —
+    deduplicated by {!Finding.recovery_failure_key} and rendered with
+    the crash plan and seed that reproduce them; all other faults and
+    budget divergences are counted and summarized on a [contained]
+    line.  Faults must be supplied in submission order so the exemplar
+    choice (and thus the report) is byte-identical across [--jobs]
+    counts. *)
 
 type finding = {
   label : string;
@@ -12,11 +23,22 @@ type finding = {
   example : Yashme.Race.t;
 }
 
+type recovery_failure = {
+  rf_key : string;  (** {!Finding.recovery_failure_key} *)
+  rf_example : Finding.fault;  (** first observation, submission order *)
+  rf_count : int;  (** raw faults collapsed into this finding *)
+}
+
 type t = {
   program : string;
   executions : int;  (** pre/post execution pairs explored *)
   raw_races : int;
   findings : finding list;  (** sorted by label *)
+  recovery_failures : recovery_failure list;  (** sorted by key *)
+  fault_count : int;
+      (** contained faults that are {e not} recovery failures (setup or
+          pre-crash phase, or a recovery raising without a crash) *)
+  diverged : int;  (** scenarios with a budget-terminated phase *)
   metrics : (string * int) list;
       (** observe-layer counters attributed to this report (empty
           unless attached with {!with_metrics}).  Never rendered by
@@ -24,11 +46,18 @@ type t = {
           metrics on or off. *)
 }
 
-(** Deduplicate raw races by field label.  A label is benign only if
-    every report for it is benign.  [metrics] starts empty; duplicate
+(** Deduplicate raw races by field label and [faults] (submission
+    order) by recovery-failure key.  A label is benign only if every
+    report for it is benign.  [metrics] starts empty; duplicate
     observations are counted on the [report/duplicate_races] counter
     of the global {!Observe.Metrics} registry. *)
-val dedup : program:string -> executions:int -> Yashme.Race.t list -> t
+val dedup :
+  program:string ->
+  executions:int ->
+  ?faults:Finding.fault list ->
+  ?diverged:int ->
+  Yashme.Race.t list ->
+  t
 
 (** Attach a metrics block (e.g. an {!Observe.Metrics.diff} covering
     this report's run). *)
@@ -38,6 +67,10 @@ val with_metrics : t -> (string * int) list -> t
 val real : t -> finding list
 
 val benign : t -> finding list
+
+(** Render one recovery-failure finding (key, repro seed, count). *)
+val pp_recovery_failure : Format.formatter -> recovery_failure -> unit
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

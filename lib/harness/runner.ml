@@ -10,6 +10,8 @@ type options = Scenario.options = {
   sb_policy : Px86.Machine.sb_policy;
   cut : Px86.Machine.cut_strategy;
   seed : int;
+  max_ops : int option;
+  max_wall_s : float option;
 }
 
 let default_options = Scenario.default_options
@@ -89,20 +91,76 @@ let model_check_plans points =
   List.init points (fun n -> Executor.Crash_before_flush n)
   @ [ Executor.Crash_at_end ]
 
-let model_check_run ?(options = default_options) ?(jobs = 1) (p : Program.t) =
-  let setup = Engine.materialize_setup ~options p in
-  let points = count_points ~options ~setup p in
-  let scenarios =
-    List.map
-      (fun plan -> Scenario.of_program ~setup ~plan ~options p)
-      (model_check_plans points)
-  in
-  let run = Engine.run ~jobs scenarios in
-  ( Report.dedup ~program:p.Program.name ~executions:(List.length scenarios)
-      (Engine.races run),
-    run.Engine.stats )
+(* ------------------------------------------------------------------ *)
+(* Driver-level fault containment                                      *)
 
-let model_check ?options ?jobs p = fst (model_check_run ?options ?jobs p)
+(* The drivers probe a program (materialize the setup, count flush
+   points) before any sandboxed scenario runs.  A program whose setup
+   raises would otherwise take the whole driver down, so the probes are
+   guarded too: a probe fault yields a report holding that single
+   fault and no scenarios. *)
+let guarded_probe ~(options : options) (p : Program.t) f =
+  match f () with
+  | v -> Ok v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Error
+        {
+          Finding.label = p.Program.name;
+          phase = Finding.Setup;
+          exn_text = Printexc.to_string e;
+          backtrace = Printexc.raw_backtrace_to_string bt;
+          plan = "probe";
+          post_plan = "probe";
+          seed = options.seed;
+          crash_fired = false;
+        }
+
+let empty_stats ~jobs =
+  {
+    Engine.jobs;
+    scenarios = 0;
+    completed = 0;
+    faulted = 0;
+    diverged = 0;
+    cancelled = 0;
+    executions = 0;
+    ops = 0;
+    cpu_s = 0.;
+    elapsed_s = 0.;
+  }
+
+(* Build the per-program report of an engine run: deduplicated races,
+   recovery-failure witnesses and contained-fault counts, all derived
+   from the submission-ordered result list. *)
+let report_of_run ~program ~executions run =
+  Report.dedup ~program ~executions ~faults:(Engine.faults run)
+    ~diverged:(Engine.diverged_count run)
+    (Engine.races run)
+
+let model_check_run ?(options = default_options) ?(jobs = 1)
+    ?(fail_fast = false) (p : Program.t) =
+  match
+    guarded_probe ~options p (fun () ->
+        let setup = Engine.materialize_setup ~options p in
+        (setup, count_points ~options ~setup p))
+  with
+  | Error fault ->
+      ( Report.dedup ~program:p.Program.name ~executions:0 ~faults:[ fault ] [],
+        empty_stats ~jobs )
+  | Ok (setup, points) ->
+      let scenarios =
+        List.map
+          (fun plan -> Scenario.of_program ~setup ~plan ~options p)
+          (model_check_plans points)
+      in
+      let run = Engine.run ~jobs ~fail_fast scenarios in
+      ( report_of_run ~program:p.Program.name
+          ~executions:(List.length scenarios) run,
+        run.Engine.stats )
+
+let model_check ?options ?jobs ?fail_fast p =
+  fst (model_check_run ?options ?jobs ?fail_fast p)
 
 (* Reference sequential implementation (the pre-engine plan loop); the
    determinism suite checks the engine against it at every job count. *)
@@ -129,40 +187,63 @@ let model_check_seq ?(options = default_options) (p : Program.t) =
    own flush points; wave 2 explores the (pre point x recovery point)
    grid.  Both waves are engine batches. *)
 let model_check_recovery_run ?(options = default_options) ?(jobs = 1)
-    (p : Program.t) =
-  let setup = Engine.materialize_setup ~options p in
-  let points = count_points ~options ~setup p in
-  let pre_plans = model_check_plans points in
-  let probes =
-    Engine.run ~jobs
-      (List.map (fun plan -> Scenario.of_program ~setup ~plan ~options p) pre_plans)
-  in
-  let scenarios =
-    List.concat_map
-      (fun (plan, (probe : Engine.scenario_result)) ->
-        if not probe.Engine.chain_crashed then []
-        else
-          let post_points =
-            Option.value ~default:0 probe.Engine.post_flush_points
-          in
-          List.init post_points (fun post_n ->
-              Scenario.of_program ~setup ~plan
-                ~post_plan:(Executor.Crash_before_flush post_n) ~options p))
-      (List.combine pre_plans probes.Engine.results)
-  in
-  let run = Engine.run ~jobs scenarios in
-  let keep (r : Engine.scenario_result) = r.Engine.chain_crashed in
-  let executions =
-    List.length (List.filter keep run.Engine.results)
-  in
-  ( Report.dedup
-      ~program:(p.Program.name ^ "+recovery")
-      ~executions
-      (Engine.races ~keep run),
-    run.Engine.stats )
+    ?(fail_fast = false) (p : Program.t) =
+  let program = p.Program.name ^ "+recovery" in
+  match
+    guarded_probe ~options p (fun () ->
+        let setup = Engine.materialize_setup ~options p in
+        (setup, count_points ~options ~setup p))
+  with
+  | Error fault ->
+      ( Report.dedup ~program ~executions:0 ~faults:[ fault ] [],
+        empty_stats ~jobs )
+  | Ok (setup, points) ->
+      let pre_plans = model_check_plans points in
+      let probes =
+        Engine.run ~jobs ~fail_fast
+          (List.map
+             (fun plan -> Scenario.of_program ~setup ~plan ~options p)
+             pre_plans)
+      in
+      (* A probe that faulted contributes no grid scenarios; its fault
+         still reaches the report below. *)
+      let scenarios =
+        List.concat_map
+          (fun (plan, probe) ->
+            match (probe : Engine.scenario_result) with
+            | Engine.Faulted _ -> []
+            | Engine.Completed c ->
+                if not c.Engine.chain_crashed then []
+                else
+                  let post_points =
+                    Option.value ~default:0 c.Engine.post_flush_points
+                  in
+                  List.init post_points (fun post_n ->
+                      Scenario.of_program ~setup ~plan
+                        ~post_plan:(Executor.Crash_before_flush post_n)
+                        ~options p))
+          (List.combine pre_plans probes.Engine.results)
+      in
+      let run = Engine.run ~jobs ~fail_fast scenarios in
+      let keep (c : Engine.completed) = c.Engine.chain_crashed in
+      let executions =
+        List.length
+          (List.filter
+             (function
+               | Engine.Completed c -> keep c
+               | Engine.Faulted _ -> false)
+             run.Engine.results)
+      in
+      (* Probe-wave faults and divergences ride along, in probe-then-grid
+         submission order. *)
+      ( Report.dedup ~program ~executions
+          ~faults:(Engine.faults probes @ Engine.faults run)
+          ~diverged:(Engine.diverged_count probes + Engine.diverged_count run)
+          (Engine.races ~keep run),
+        run.Engine.stats )
 
-let model_check_recovery ?options ?jobs p =
-  fst (model_check_recovery_run ?options ?jobs p)
+let model_check_recovery ?options ?jobs ?fail_fast p =
+  fst (model_check_recovery_run ?options ?jobs ?fail_fast p)
 
 let model_check_recovery_seq ?(options = default_options) (p : Program.t) =
   let pre_points = count_flush_points ~options p in
@@ -247,15 +328,21 @@ let random_scenarios ~options ~execs (p : Program.t) =
   in
   build 0 []
 
-let random_mode_run ?(options = default_options) ?(jobs = 1) ~execs
-    (p : Program.t) =
+let random_mode_run ?(options = default_options) ?(jobs = 1)
+    ?(fail_fast = false) ~execs (p : Program.t) =
   let options = { options with seed = program_seed p options.seed } in
-  let run = Engine.run ~jobs (random_scenarios ~options ~execs p) in
-  ( Report.dedup ~program:p.Program.name ~executions:execs (Engine.races run),
-    run.Engine.stats )
+  match guarded_probe ~options p (fun () -> random_scenarios ~options ~execs p)
+  with
+  | Error fault ->
+      ( Report.dedup ~program:p.Program.name ~executions:0 ~faults:[ fault ] [],
+        empty_stats ~jobs )
+  | Ok scenarios ->
+      let run = Engine.run ~jobs ~fail_fast scenarios in
+      ( report_of_run ~program:p.Program.name ~executions:execs run,
+        run.Engine.stats )
 
-let random_mode ?options ?jobs ~execs p =
-  fst (random_mode_run ?options ?jobs ~execs p)
+let random_mode ?options ?jobs ?fail_fast ~execs p =
+  fst (random_mode_run ?options ?jobs ?fail_fast ~execs p)
 
 let random_mode_seq ?(options = default_options) ~execs (p : Program.t) =
   let options = { options with seed = program_seed p options.seed } in

@@ -16,7 +16,18 @@
     {!Scenario.t} per plan against a memoized setup snapshot, and hand
     the batch to the engine's domain pool.  [jobs] (default 1) selects
     the number of worker domains; the deduplicated report is identical
-    for every job count. *)
+    for every job count.
+
+    {b Fault isolation.}  The engine sandboxes every scenario phase, so
+    a raising or budget-exceeding scenario never takes down the driver:
+    its fault (or divergence) is merged into the {!Report} alongside
+    the races, and recovery-phase faults on a real crash image become
+    recovery-failure findings.  The drivers additionally guard their
+    own un-sandboxed probes (setup materialization, flush-point
+    counting): a probe fault yields a report carrying that single fault
+    and zero executions.  [fail_fast] (default false) instead cancels
+    the remaining batch on the first fault and re-raises it with its
+    original backtrace. *)
 
 type options = Scenario.options = {
   mode : Yashme.Detector.mode;
@@ -27,6 +38,10 @@ type options = Scenario.options = {
   sb_policy : Px86.Machine.sb_policy;
   cut : Px86.Machine.cut_strategy;
   seed : int;
+  max_ops : int option;
+      (** per-phase fuel budget (scheduled operations); deterministic *)
+  max_wall_s : float option;
+      (** per-phase wall-clock budget; a nondeterministic last resort *)
 }
 
 val default_options : options
@@ -51,26 +66,47 @@ val run_once_traced :
   Program.t ->
   Yashme.Detector.t * Px86.Trace.t
 
-val model_check : ?options:options -> ?jobs:int -> Program.t -> Report.t
+val model_check :
+  ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> Report.t
 
 (** {!model_check} plus the engine's batch statistics (throughput
     accounting for the bench harness). *)
 val model_check_run :
-  ?options:options -> ?jobs:int -> Program.t -> Report.t * Engine.stats
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  Program.t ->
+  Report.t * Engine.stats
 
 (** Two-crash failure scenarios (section 6's execution stack): for every
     pre-crash point, also crash the {e recovery} before each of its own
     flush points and run a second recovery — the only way to find
     persistency races in recovery code. *)
-val model_check_recovery : ?options:options -> ?jobs:int -> Program.t -> Report.t
+val model_check_recovery :
+  ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> Report.t
 
 val model_check_recovery_run :
-  ?options:options -> ?jobs:int -> Program.t -> Report.t * Engine.stats
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  Program.t ->
+  Report.t * Engine.stats
 
-val random_mode : ?options:options -> ?jobs:int -> execs:int -> Program.t -> Report.t
+val random_mode :
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  execs:int ->
+  Program.t ->
+  Report.t
 
 val random_mode_run :
-  ?options:options -> ?jobs:int -> execs:int -> Program.t -> Report.t * Engine.stats
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  execs:int ->
+  Program.t ->
+  Report.t * Engine.stats
 
 (** Reference sequential implementations (the pre-engine plan loops).
     The determinism suite asserts the engine reproduces their reports

@@ -9,6 +9,8 @@ type options = {
   sb_policy : Px86.Machine.sb_policy;
   cut : Px86.Machine.cut_strategy;
   seed : int;
+  max_ops : int option;
+  max_wall_s : float option;
 }
 
 let default_options =
@@ -21,6 +23,8 @@ let default_options =
     sb_policy = Px86.Machine.Eager;
     cut = Px86.Machine.Cut_all;
     seed = 42;
+    max_ops = None;
+    max_wall_s = None;
   }
 
 type setup =

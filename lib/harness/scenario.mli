@@ -16,6 +16,11 @@ type options = {
   sb_policy : Px86.Machine.sb_policy;
   cut : Px86.Machine.cut_strategy;
   seed : int;
+  max_ops : int option;
+      (** per-phase fuel budget (deterministic); a phase exceeding it is
+          terminated with {!Pm_runtime.Executor.Diverged} *)
+  max_wall_s : float option;
+      (** per-phase wall-clock budget in seconds (run-dependent) *)
 }
 
 val default_options : options

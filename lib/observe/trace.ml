@@ -94,15 +94,26 @@ let instant ?(cat = "") ?pid ?tid ?(args = []) name =
   end
 
 (* Merged events, earliest first; at equal timestamps longer spans
-   sort first so enclosing spans precede their children. *)
+   sort first so enclosing spans precede their children.  When both the
+   timestamp and the duration tie (sub-microsecond spans), fall back to
+   reverse recording order within the shard: a span is recorded when it
+   ends, so the enclosing span is recorded after — and must still sort
+   before — its children. *)
 let events () =
   let all =
-    Array.fold_left (fun acc s -> List.rev_append s.shard_events acc) [] shards
+    Array.fold_left
+      (fun acc s ->
+        List.rev_append (List.mapi (fun i e -> (i, e)) s.shard_events) acc)
+      [] shards
   in
   List.stable_sort
-    (fun a b ->
-      match compare a.ts_us b.ts_us with 0 -> compare b.dur_us a.dur_us | c -> c)
+    (fun (ia, a) (ib, b) ->
+      match compare a.ts_us b.ts_us with
+      | 0 -> (
+          match compare b.dur_us a.dur_us with 0 -> compare ia ib | c -> c)
+      | c -> c)
     all
+  |> List.map snd
 
 (* ------------------------------------------------------------------ *)
 (* JSON export                                                         *)

@@ -45,11 +45,17 @@ let phase_of_exec_id exec_id = if exec_id <= 0 then 0 else if exec_id = 1 then 1
 let phase_name exec_id = [| "setup"; "pre"; "post" |].(phase_of_exec_id exec_id)
 
 let m_crashes = Metrics.counter "executor/crashes"
+let m_divergences = Metrics.counter "executor/divergences"
 let h_ops = Metrics.histogram "executor/ops_per_exec"
 
 type sched_policy = Round_robin | Random_sched
 
-type outcome = Completed | Crashed
+type outcome = Completed | Crashed | Diverged
+
+let outcome_label = function
+  | Completed -> "completed"
+  | Crashed -> "crashed"
+  | Diverged -> "diverged"
 
 type result = {
   outcome : outcome;
@@ -85,6 +91,8 @@ type state = {
   sched : sched_policy;
   rng : Rng.t;
   exec_id : int;
+  max_ops : int option;  (** fuel: scheduled operations before [Diverged] *)
+  deadline : float option;  (** absolute wall-clock cutoff *)
   pc : phase_counters;  (** this execution's phase counters *)
   threads : (int, tstate) Hashtbl.t;
   mutable tid_order : int list;  (** spawn order, for deterministic picks *)
@@ -93,11 +101,13 @@ type state = {
   mutable heap_break : int;
   validating : (int, int) Hashtbl.t;  (** tid -> nesting depth *)
   mutable ops : int;
+  mutable fuel_used : int;  (** every scheduled op, incl. meta ops *)
   mutable flush_points : int;
   mutable crashed : bool;
+  mutable diverged : bool;
   mutable crash_state : Px86.Crashstate.t option;
   mutable crashed_at_op : int option;
-  mutable error : exn option;
+  mutable error : (exn * Printexc.raw_backtrace) option;
 }
 
 let set_state st tid s = Hashtbl.replace st.threads tid s
@@ -211,7 +221,12 @@ let rec start_thread st tid (fn : unit -> unit) =
         (fun e ->
           (match e with
           | Crash_signal -> ()
-          | e -> if st.error = None then st.error <- Some e);
+          | e ->
+              (* Capture the backtrace here, at the raise site, so the
+                 re-raise after the scheduling loop (and any fault
+                 report built from it) points at the real frame. *)
+              if st.error = None then
+                st.error <- Some (e, Printexc.get_raw_backtrace ()));
           finish_thread st tid);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -311,6 +326,26 @@ let pick_next st =
       | Ready p -> Some (tid, p)
       | Waiting _ | Done -> assert false)
 
+(* Tear down every thread; buffered work is lost. *)
+let rec teardown_threads st =
+  let victim =
+    List.find_opt
+      (fun tid -> match get_state st tid with Ready _ | Waiting _ -> true | Done -> false)
+      st.tid_order
+  in
+  match victim with
+  | None -> ()
+  | Some tid ->
+      (match get_state st tid with
+      | Ready p ->
+          set_state st tid Done;
+          p.p_abort ()
+      | Waiting w ->
+          set_state st tid Done;
+          w.w_abort ()
+      | Done -> ());
+      teardown_threads st
+
 let do_crash st =
   Metrics.incr m_crashes;
   st.crashed <- true;
@@ -318,27 +353,38 @@ let do_crash st =
   let cs = Machine.crash st.machine ~strategy:st.cut in
   cs.Px86.Crashstate.heap_break <- st.heap_break;
   st.crash_state <- Some cs;
-  (* Tear down every thread; buffered work is lost. *)
-  let rec teardown () =
-    let victim =
-      List.find_opt
-        (fun tid -> match get_state st tid with Ready _ | Waiting _ -> true | Done -> false)
-        st.tid_order
-    in
-    match victim with
-    | None -> ()
-    | Some tid ->
-        (match get_state st tid with
-        | Ready p ->
-            set_state st tid Done;
-            p.p_abort ()
-        | Waiting w ->
-            set_state st tid Done;
-            w.w_abort ()
-        | Done -> ());
-        teardown ()
-  in
-  teardown ()
+  teardown_threads st
+
+(* A budget fired: terminate the runaway phase.  Unlike a crash this is
+   not a simulated power failure — the phase is killed and the scenario
+   chain stops here — but the durable state is still materialized (as a
+   crash cut) so callers can inspect what the runaway left behind. *)
+let do_diverge st ~budget =
+  Metrics.incr m_divergences;
+  st.diverged <- true;
+  if Observe.Trace.recording () then
+    Observe.Trace.instant ~cat:"executor" "diverged"
+      ~args:
+        [
+          ("phase", phase_name st.exec_id);
+          ("plan", plan_label st.plan);
+          ("budget", budget);
+          ("ops", string_of_int st.ops);
+        ];
+  teardown_threads st
+
+(* Which budget, if any, is exhausted?  Fuel counts every scheduled
+   operation (meta ops included, so a yield-spin cannot dodge it) and
+   is deterministic; the wall-clock budget is a last-resort valve and
+   inherently run-dependent.  Budgets trip at scheduling points only: a
+   loop with no [Pmem] operation in its body cannot be preempted. *)
+let budget_exhausted st =
+  match st.max_ops with
+  | Some m when st.fuel_used >= m -> Some "max_ops"
+  | Some _ | None -> (
+      match st.deadline with
+      | Some d when Unix.gettimeofday () >= d -> Some "max_wall_s"
+      | Some _ | None -> None)
 
 let should_crash st kind =
   match kind with
@@ -353,11 +399,15 @@ let should_crash st kind =
 let sched_loop st =
   let continue_loop = ref true in
   while !continue_loop do
+    (match budget_exhausted st with
+    | Some budget when not (st.crashed || st.diverged) -> do_diverge st ~budget
+    | Some _ | None -> ());
     match pick_next st with
     | None -> continue_loop := false
     | Some (tid, p) ->
         if should_crash st p.p_kind then do_crash st
         else begin
+          st.fuel_used <- st.fuel_used + 1;
           (match p.p_kind with
           | Op_mem -> st.ops <- st.ops + 1
           | Op_flushpt ->
@@ -375,7 +425,7 @@ let sched_loop st =
 
 let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
     ?(cut = Machine.Cut_all) ?(sched = Round_robin) ?(seed = 0)
-    ?(check_candidates = true) ?observer:extra ~exec_id fn =
+    ?(check_candidates = true) ?max_ops ?max_wall_s ?observer:extra ~exec_id fn =
   let span_t0 =
     if Observe.Trace.recording () then Some (Observe.Trace.now_us ()) else None
   in
@@ -411,6 +461,8 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
       sched;
       rng;
       exec_id;
+      max_ops;
+      deadline = Option.map (fun s -> Unix.gettimeofday () +. s) max_wall_s;
       pc = all_phase_counters.(phase_of_exec_id exec_id);
       threads = Hashtbl.create 8;
       tid_order = [ 0 ];
@@ -419,8 +471,10 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
       heap_break;
       validating = Hashtbl.create 4;
       ops = 0;
+      fuel_used = 0;
       flush_points = 0;
       crashed = false;
+      diverged = false;
       crash_state = None;
       crashed_at_op = None;
       error = None;
@@ -434,19 +488,30 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
          p_abort = (fun () -> set_state st 0 Done);
        });
   sched_loop st;
-  (match st.error with Some e -> raise e | None -> ());
+  (match st.error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
   let state, outcome =
-    match st.crash_state with
-    | Some cs -> (cs, Crashed)
-    | None ->
-        let cs =
-          match plan with
-          | Crash_at_end -> Machine.crash machine ~strategy:cut
-          | Run_to_end | Crash_before_op _ | Crash_before_flush _ ->
-              Machine.shutdown machine
-        in
-        cs.Px86.Crashstate.heap_break <- st.heap_break;
-        (cs, Completed)
+    if st.diverged then begin
+      (* The runaway was killed mid-flight: materialize durable state
+         as a crash cut (buffers lost), but report [Diverged] so the
+         harness never mistakes this for a planned crash. *)
+      let cs = Machine.crash machine ~strategy:cut in
+      cs.Px86.Crashstate.heap_break <- st.heap_break;
+      (cs, Diverged)
+    end
+    else
+      match st.crash_state with
+      | Some cs -> (cs, Crashed)
+      | None ->
+          let cs =
+            match plan with
+            | Crash_at_end -> Machine.crash machine ~strategy:cut
+            | Run_to_end | Crash_before_op _ | Crash_before_flush _ ->
+                Machine.shutdown machine
+          in
+          cs.Px86.Crashstate.heap_break <- st.heap_break;
+          (cs, Completed)
   in
   Metrics.observe h_ops st.ops;
   (match span_t0 with
@@ -458,7 +523,7 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
             ("exec_id", string_of_int exec_id);
             ("plan", plan_label plan);
             ("ops", string_of_int st.ops);
-            ("outcome", match outcome with Crashed -> "crashed" | Completed -> "completed");
+            ("outcome", outcome_label outcome);
           ]
         ~ts_us:ts
         ~dur_us:(Observe.Trace.now_us () - ts)

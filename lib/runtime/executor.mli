@@ -44,7 +44,16 @@ type sched_policy =
   | Round_robin
   | Random_sched  (** uniform choice among runnable threads (random mode) *)
 
-type outcome = Completed | Crashed
+type outcome =
+  | Completed
+  | Crashed
+  | Diverged
+      (** a budget ([max_ops] fuel or [max_wall_s]) terminated a
+          runaway phase.  The durable state is materialized as a crash
+          cut, but no planned crash fired: the harness stops the
+          scenario chain here and classifies the scenario as diverged *)
+
+val outcome_label : outcome -> string
 
 type result = {
   outcome : outcome;
@@ -67,6 +76,14 @@ type result = {
     @param check_candidates also race-check the candidate stores a load
       could have read, not just the committed one (Jaaru integration,
       paper section 6); default true — disabling it is an ablation
+    @param max_ops fuel budget: terminate the run with {!Diverged} after
+      this many scheduled operations (meta operations included, so a
+      yield-spin cannot dodge it).  Deterministic — the same program and
+      seed diverge at the same point on every run.  Default: unlimited
+    @param max_wall_s wall-clock budget in seconds, checked at every
+      scheduling point; a last-resort valve for phases that burn real
+      time, inherently run-dependent.  Budgets cannot preempt a loop
+      that performs no {!Pmem} operation.  Default: unlimited
     @param observer an extra machine observer (e.g. a {!Px86.Trace}
       recorder), combined with the detector's *)
 val run :
@@ -78,6 +95,8 @@ val run :
   ?sched:sched_policy ->
   ?seed:int ->
   ?check_candidates:bool ->
+  ?max_ops:int ->
+  ?max_wall_s:float ->
   ?observer:Px86.Observer.t ->
   exec_id:int ->
   (unit -> unit) ->

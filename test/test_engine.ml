@@ -136,10 +136,14 @@ let test_setup_snapshot_memoized () =
           ~plan:(Executor.Crash_before_flush 0)
           ~options:Runner.default_options toy
       in
-      let r1 = Engine.run_scenario scenario in
+      let completed = function
+        | Engine.Completed c -> c
+        | Engine.Faulted _ -> Alcotest.fail "scenario unexpectedly faulted"
+      in
+      let r1 = completed (Engine.run_scenario scenario) in
       check_str "snapshot unchanged by a scenario run" before (fingerprint ());
       (* And re-running from the same snapshot reproduces the result. *)
-      let r2 = Engine.run_scenario scenario in
+      let r2 = completed (Engine.run_scenario scenario) in
       check_int "same race count on re-run" (List.length r1.Engine.races)
         (List.length r2.Engine.races);
       check "snapshot still unchanged" true (before = fingerprint ())
@@ -209,6 +213,145 @@ let test_scenario_results_in_submission_order () =
   let sig_of run = List.map Engine.signature run.Engine.results in
   check "same per-scenario results in same order" true (sig_of a = sig_of b)
 
+(* ------------------------------------------------------------------ *)
+(* Fault isolation                                                      *)
+
+module Finding = Pm_harness.Finding
+module Demo = Pm_benchmarks.Demo_faults
+
+let raising =
+  Program.make ~name:"raising"
+    ~pre:(fun () ->
+      let a = Pmem.alloc ~align:64 8 in
+      Pmem.store ~label:"pre-fault" a 1L;
+      failwith "boom")
+    ~post:(fun () -> ())
+    ()
+
+(* The acceptance batch: a healthy scenario, a raising one and a
+   non-terminating one under a fuel budget.  All three must come back,
+   classified, and identically at every job count. *)
+let test_fault_isolation_batch () =
+  let options = { Runner.default_options with max_ops = Some 400 } in
+  let toy_setup = Engine.materialize_setup ~options toy in
+  let demo_setup = Engine.materialize_setup ~options Demo.diverge in
+  let scenarios =
+    [ Scenario.of_program ~setup:toy_setup
+        ~plan:(Executor.Crash_before_flush 0) ~options toy;
+      Scenario.of_program ~setup:Scenario.No_setup ~plan:Executor.Crash_at_end
+        ~options raising;
+      Scenario.of_program ~setup:demo_setup ~plan:Executor.Crash_at_end
+        ~options Demo.diverge ]
+  in
+  let classify run =
+    check_int "all scenarios come back" 3 (List.length run.Engine.results);
+    (match run.Engine.results with
+    | [ Engine.Completed c0; Engine.Faulted f; Engine.Completed c2 ] ->
+        check "healthy scenario not diverged" false c0.Engine.diverged;
+        check "fault in the pre-crash phase" true
+          (f.Engine.f_info.Finding.phase = Finding.Pre_crash);
+        check_str "fault text preserved" "Failure(\"boom\")"
+          f.Engine.f_info.Finding.exn_text;
+        check "no crash before the fault" false
+          f.Engine.f_info.Finding.crash_fired;
+        check "spinner killed by the fuel budget" true c2.Engine.diverged
+    | _ -> Alcotest.fail "unexpected result classification");
+    check_int "one fault in stats" 1 run.Engine.stats.Engine.faulted;
+    check_int "one divergence in stats" 1 run.Engine.stats.Engine.diverged
+  in
+  let report run =
+    Report.to_string
+      (Report.dedup ~program:"batch" ~executions:3
+         ~faults:(Engine.faults run) ~diverged:(Engine.diverged_count run)
+         (Engine.races run))
+  in
+  let a = Engine.run ~jobs:1 scenarios in
+  let b = Engine.run ~jobs:4 scenarios in
+  classify a;
+  classify b;
+  let sig_of run = List.map Engine.signature run.Engine.results in
+  check "per-scenario results jobs-invariant" true (sig_of a = sig_of b);
+  check_str "report byte-identical jobs=1 vs jobs=4" (report a) (report b);
+  let contains s sub =
+    let n = String.length sub in
+    let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
+  check "contained faults render" true
+    (contains (report a) "[contained] 1 scenario fault(s), 1 diverged (budget)")
+
+let test_setup_phase_fault () =
+  let options = Runner.default_options in
+  let scenario =
+    Scenario.make ~label:"bad-setup"
+      ~setup:(Scenario.Run_setup (fun () -> failwith "setup exploded"))
+      ~pre:(fun () -> ())
+      ~post:(fun () -> ())
+      ~plan:Executor.Crash_at_end ~options ()
+  in
+  match Engine.run_scenario scenario with
+  | Engine.Completed _ -> Alcotest.fail "setup fault must be captured"
+  | Engine.Faulted f ->
+      check "classified as a setup fault" true
+        (f.Engine.f_info.Finding.phase = Finding.Setup);
+      check "not a recovery failure" false
+        (Finding.is_recovery_failure f.Engine.f_info)
+
+let test_fuel_exhaustion_diverges () =
+  let options = { Runner.default_options with max_ops = Some 50 } in
+  let r =
+    Engine.run_phase ~options ~plan:Executor.Run_to_end ~seed:1
+      ~exec_id:Engine.pre_exec (fun () ->
+        while true do
+          Pmem.yield ()
+        done)
+  in
+  check "budget terminates the phase" true
+    (r.Executor.outcome = Executor.Diverged)
+
+let test_recovery_failure_witness () =
+  let p = Demo.faulty_recovery in
+  let r1 = Runner.model_check ~jobs:1 p in
+  let r4 = Runner.model_check ~jobs:4 p in
+  check_str "recovery-failure report byte-identical jobs=1 vs jobs=4"
+    (Report.to_string r1) (Report.to_string r4);
+  check "recovery failure found" true (r1.Report.recovery_failures <> []);
+  List.iter
+    (fun (rf : Report.recovery_failure) ->
+      check "witness carries a real crash" true
+        rf.Report.rf_example.Finding.crash_fired;
+      check "witness is a recovery-phase fault" true
+        (match rf.Report.rf_example.Finding.phase with
+        | Finding.Recovery _ -> true
+        | Finding.Setup | Finding.Pre_crash -> false))
+    r1.Report.recovery_failures
+
+let test_fail_fast () =
+  let options = Runner.default_options in
+  let setup = Engine.materialize_setup ~options toy in
+  let scenarios =
+    [ Scenario.of_program ~setup:Scenario.No_setup ~plan:Executor.Crash_at_end
+        ~options raising;
+      Scenario.of_program ~setup ~plan:(Executor.Crash_before_flush 0)
+        ~options toy;
+      Scenario.of_program ~setup ~plan:Executor.Crash_at_end ~options toy ]
+  in
+  (* Containment is the default: the whole batch comes back. *)
+  let contained = Engine.run ~jobs:1 scenarios in
+  check_int "no fail-fast: every result materializes" 3
+    (List.length contained.Engine.results);
+  (* Fail-fast re-raises the original exception and cancels the rest;
+     the cancelled entries are visible as metric ticks. *)
+  Observe.Metrics.enable ();
+  let before = Observe.Metrics.snapshot () in
+  (match Engine.run ~jobs:1 ~fail_fast:true scenarios with
+  | _ -> Alcotest.fail "fail-fast must re-raise the scenario fault"
+  | exception Failure msg -> check_str "original exception re-raised" "boom" msg);
+  let diff = Observe.Metrics.diff before (Observe.Metrics.snapshot ()) in
+  Observe.Metrics.disable ();
+  check_int "both queued scenarios cancelled" 2
+    (Option.value ~default:0 (List.assoc_opt "engine/cancelled" diff))
+
 let () =
   Alcotest.run "engine"
     [
@@ -237,5 +380,18 @@ let () =
           Alcotest.test_case "engine stats" `Quick test_engine_stats;
           Alcotest.test_case "submission-order merge" `Quick
             test_scenario_results_in_submission_order;
+        ] );
+      ( "fault-isolation",
+        [
+          Alcotest.test_case "mixed batch survives faults" `Quick
+            test_fault_isolation_batch;
+          Alcotest.test_case "setup-phase fault captured" `Quick
+            test_setup_phase_fault;
+          Alcotest.test_case "fuel budget diverges" `Quick
+            test_fuel_exhaustion_diverges;
+          Alcotest.test_case "recovery-failure witness" `Quick
+            test_recovery_failure_witness;
+          Alcotest.test_case "fail-fast cancels and re-raises" `Quick
+            test_fail_fast;
         ] );
     ]
