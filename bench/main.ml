@@ -223,15 +223,22 @@ let engine_throughput ~jobs () =
       (fun (p : Pm_harness.Program.t) ->
         let _, s1 = Runner.model_check_run ~jobs:1 p in
         let before = Observe.Metrics.snapshot () in
-        let _, sn = Runner.model_check_run ~jobs p in
+        let o = Runner.model_check_outcome ~jobs p in
+        let sn = o.Runner.o_stats in
         let diff = Observe.Metrics.diff before (Observe.Metrics.snapshot ()) in
-        (p.Pm_harness.Program.name, s1, sn, diff))
+        (* Witness-corpus accounting rides along: how many distinct
+           witnesses the run would emit under --corpus-out, and what
+           fraction of the raw observations folded into them. *)
+        let e =
+          Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
+        in
+        (p.Pm_harness.Program.name, s1, sn, diff, e))
       programs
   in
   Observe.Metrics.disable ();
   let rows =
     List.map
-      (fun (name, (s1 : Engine.stats), (sn : Engine.stats), _) ->
+      (fun (name, (s1 : Engine.stats), (sn : Engine.stats), _, _) ->
         [ name; string_of_int sn.Engine.scenarios;
           string_of_int sn.Engine.executions; string_of_int sn.Engine.ops;
           Printf.sprintf "%.4fs" s1.Engine.elapsed_s;
@@ -248,8 +255,15 @@ let engine_throughput ~jobs () =
        rows);
   print_endline "engine-throughput JSON:";
   List.iter
-    (fun (name, (s1 : Engine.stats), (sn : Engine.stats), diff) ->
+    (fun (name, (s1 : Engine.stats), (sn : Engine.stats), diff,
+          (e : Pm_corpus.Witness.extraction)) ->
       let c = counter_of diff in
+      let dedup_rate =
+        if e.Pm_corpus.Witness.raw = 0 then 0.0
+        else
+          float_of_int e.Pm_corpus.Witness.duplicates
+          /. float_of_int e.Pm_corpus.Witness.raw
+      in
       let executor_loads =
         c "executor/setup/loads" + c "executor/pre/loads" + c "executor/post/loads"
       in
@@ -266,7 +280,7 @@ let engine_throughput ~jobs () =
          \"detector_cv_comparisons\":%d,\"detector_races_raised\":%d,\
          \"detector_races_benign\":%d,\"executor_loads\":%d,\
          \"executor_stores\":%d,\"px86_sb_evictions\":%d,\"px86_fb_applies\":%d,\
-         \"px86_crashes\":%d}\n"
+         \"px86_crashes\":%d,\"witnesses_emitted\":%d,\"corpus_dedup_rate\":%.4f}\n"
         name sn.Engine.jobs sn.Engine.scenarios sn.Engine.faulted
         sn.Engine.diverged sn.Engine.executions
         sn.Engine.ops s1.Engine.elapsed_s sn.Engine.elapsed_s
@@ -281,7 +295,9 @@ let engine_throughput ~jobs () =
         executor_loads executor_stores
         (c "px86/sb_evictions")
         (c "px86/fb_applies")
-        (c "px86/crash_materializations"))
+        (c "px86/crash_materializations")
+        (List.length e.Pm_corpus.Witness.witnesses)
+        dedup_rate)
     measured
 
 (* ------------------------------------------------------------------ *)

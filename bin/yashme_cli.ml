@@ -3,6 +3,9 @@
    yashme list                          enumerate benchmark programs
    yashme check BENCH [--mode ...]      run the detector on one program
    yashme check-all [--mode ...]        run it on the whole suite
+   yashme replay CORPUS                 re-run recorded witnesses (regression gate)
+   yashme minimize CORPUS               ddmin-shrink recorded witnesses
+   yashme corpus merge|stats            manage witness corpora
    yashme tables                        print the reorder/compiler tables *)
 
 open Cmdliner
@@ -94,6 +97,14 @@ let timeout_arg =
              reports must stay reproducible." in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~doc ~docv:"SECONDS")
 
+let corpus_out =
+  let doc = "Write every distinct race / recovery-failure witness found during \
+             this run to $(docv) as a JSONL corpus (overwriting it).  Witnesses \
+             are deduplicated by stable identity key, so the file is \
+             byte-identical for every --jobs count.  Re-check them later with \
+             $(b,yashme replay), shrink them with $(b,yashme minimize)." in
+  Arg.(value & opt (some string) None & info [ "corpus-out" ] ~doc ~docv:"FILE")
+
 let fail_fast_flag =
   let doc = "Stop at the first scenario fault: cancel the remaining batch \
              cooperatively and re-raise the fault's exception with its \
@@ -129,12 +140,41 @@ let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false)
     mode; seed; eadr; coherence = not no_coherence;
     check_candidates = not no_candidates; max_ops; max_wall_s }
 
-let report_program run_mode opts ~jobs ~fail_fast execs (p : Pm_harness.Program.t) =
+let outcome_program run_mode opts ~jobs ~fail_fast execs (p : Pm_harness.Program.t) =
   match run_mode with
-  | `Mc -> Pm_harness.Runner.model_check ~options:opts ~jobs ~fail_fast p
+  | `Mc -> Pm_harness.Runner.model_check_outcome ~options:opts ~jobs ~fail_fast p
   | `Mc_recovery ->
-      Pm_harness.Runner.model_check_recovery ~options:opts ~jobs ~fail_fast p
-  | `Random -> Pm_harness.Runner.random_mode ~options:opts ~jobs ~fail_fast ~execs p
+      Pm_harness.Runner.model_check_recovery_outcome ~options:opts ~jobs ~fail_fast p
+  | `Random ->
+      Pm_harness.Runner.random_mode_outcome ~options:opts ~jobs ~fail_fast ~execs p
+
+(* Replay/minimize rebuild scenarios by registry name; demos are
+   findable too, so corpora recorded from them replay as well. *)
+let lookup name =
+  match Pm_benchmarks.Registry.find name with
+  | exception Not_found -> None
+  | p -> Some p
+
+let write_corpus ~corpus_out extractions =
+  match corpus_out with
+  | None -> ()
+  | Some file ->
+      let witnesses, folded =
+        Pm_corpus.Corpus.merge
+          (List.map
+             (fun (e : Pm_corpus.Witness.extraction) -> e.Pm_corpus.Witness.witnesses)
+             extractions)
+      in
+      Pm_corpus.Corpus.save file witnesses;
+      let dups =
+        folded
+        + List.fold_left
+            (fun acc (e : Pm_corpus.Witness.extraction) ->
+              acc + e.Pm_corpus.Witness.duplicates)
+            0 extractions
+      in
+      Printf.printf "corpus: %d witness(es) written to %s (%d duplicate observation(s) folded)\n"
+        (List.length witnesses) file dups
 
 let print_report show_benign (r : Pm_harness.Report.t) =
   if show_benign then print_endline (Pm_harness.Report.to_string r)
@@ -165,7 +205,17 @@ let list_cmd =
   let term =
     Term.(
       const (fun () ->
-          List.iter print_endline (Pm_benchmarks.Registry.names ()))
+          List.iter
+            (fun (p : Pm_harness.Program.t) ->
+              print_endline p.Pm_harness.Program.name)
+            Pm_benchmarks.Registry.all;
+          (* Demos are findable by name but never part of check-all;
+             mark them rather than silently omitting them. *)
+          List.iter
+            (fun (p : Pm_harness.Program.t) ->
+              Printf.printf "%-24s (demo: fault injection, excluded from check-all)\n"
+                p.Pm_harness.Program.name)
+            Pm_benchmarks.Registry.demos)
       $ const ())
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmark programs") term
@@ -176,7 +226,7 @@ let check_cmd =
            ~doc:"Benchmark name (see $(b,yashme list)).")
   in
   let run bench run_mode dmode execs jobs seed show_benign eadr no_coherence
-      no_candidates metrics trace_out quiet max_ops timeout fail_fast =
+      no_candidates metrics trace_out quiet max_ops timeout fail_fast corpus_out =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
@@ -184,12 +234,13 @@ let check_cmd =
     | p ->
         observe_setup ~metrics ~trace_out ~quiet;
         let before = if metrics then Observe.Metrics.snapshot () else [] in
-        let r =
-          report_program run_mode
+        let o =
+          outcome_program run_mode
             (options ~eadr ~no_coherence ~no_candidates ?max_ops
                ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
         in
+        let r = o.Pm_harness.Runner.o_report in
         let r =
           if metrics then
             Pm_harness.Report.with_metrics r
@@ -198,13 +249,16 @@ let check_cmd =
         in
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
+        if corpus_out <> None then
+          write_corpus ~corpus_out
+            [ Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o ];
         write_trace trace_out
   in
   let term =
     Term.(
       const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
       $ eadr_flag $ no_coherence $ no_candidates $ metrics_flag $ trace_out
-      $ quiet_flag $ max_ops_arg $ timeout_arg $ fail_fast_flag)
+      $ quiet_flag $ max_ops_arg $ timeout_arg $ fail_fast_flag $ corpus_out)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -242,30 +296,37 @@ let witness_cmd =
 
 let check_all_cmd =
   let run run_mode dmode execs jobs seed show_benign metrics trace_out quiet
-      max_ops timeout fail_fast =
+      max_ops timeout fail_fast corpus_out =
     observe_setup ~metrics ~trace_out ~quiet;
     let suite_before = if metrics then Observe.Metrics.snapshot () else [] in
     let total = ref 0 in
+    let extractions = ref [] in
     List.iter
-      (fun p ->
+      (fun (p : Pm_harness.Program.t) ->
         let before = if metrics then Observe.Metrics.snapshot () else [] in
-        let r =
-          report_program run_mode
+        let o =
+          outcome_program run_mode
             (options ?max_ops ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
         in
+        let r = o.Pm_harness.Runner.o_report in
         let r =
           if metrics then
             Pm_harness.Report.with_metrics r
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
+        if corpus_out <> None then
+          extractions :=
+            Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
+            :: !extractions;
         total := !total + List.length (Pm_harness.Report.real r);
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
         print_newline ())
       Pm_benchmarks.Registry.all;
     Printf.printf "total distinct persistency races: %d\n" !total;
+    write_corpus ~corpus_out (List.rev !extractions);
     if metrics then
       print_metrics_summary ~title:"metrics summary (whole suite)"
         (Observe.Metrics.diff suite_before (Observe.Metrics.snapshot ()));
@@ -275,7 +336,7 @@ let check_all_cmd =
     Term.(
       const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
       $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
-      $ fail_fast_flag)
+      $ fail_fast_flag $ corpus_out)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
 
@@ -300,6 +361,147 @@ let trace_lint_cmd =
        ~doc:"Validate a trace file emitted by --trace-out (JSON well-formedness)")
     Term.(const run $ file)
 
+let corpus_pos ~doc =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS" ~doc)
+
+let out_arg =
+  let doc = "Write the resulting corpus to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"FILE")
+
+let load_corpus_or_exit file =
+  match Pm_corpus.Corpus.load file with
+  | Ok ws -> ws
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+(* Corpus results go to stdout when no -o is given, so status lines go
+   to stderr there; with -o, stdout carries the status. *)
+let emit_corpus ~out ~status ws =
+  match out with
+  | Some file ->
+      Pm_corpus.Corpus.save file ws;
+      Printf.printf "%s -> %s\n" status file
+  | None ->
+      print_string (Pm_corpus.Corpus.to_jsonl ws);
+      Printf.eprintf "%s\n" status
+
+let replay_cmd =
+  let file =
+    corpus_pos ~doc:"Witness corpus (JSONL, written by --corpus-out)."
+  in
+  let run file quiet =
+    Observe.Log.set_quiet quiet;
+    let ws = load_corpus_or_exit file in
+    let r = Pm_corpus.Replay.replay_all ~lookup ws in
+    List.iter
+      (fun (f : Pm_corpus.Replay.failure) ->
+        Printf.printf "  [no-repro] %s %s: %s\n"
+          (Pm_corpus.Witness.kind_label f.Pm_corpus.Replay.witness.Pm_corpus.Witness.kind)
+          f.Pm_corpus.Replay.witness.Pm_corpus.Witness.program
+          f.Pm_corpus.Replay.reason)
+      r.Pm_corpus.Replay.failures;
+    Printf.printf "replayed %d witness(es): %d reproduced, %d failed\n"
+      r.Pm_corpus.Replay.total r.Pm_corpus.Replay.reproduced
+      (List.length r.Pm_corpus.Replay.failures);
+    if r.Pm_corpus.Replay.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run every witness in a corpus; exit non-zero if any race key \
+             no longer reproduces (the corpus regression gate)")
+    Term.(const run $ file $ quiet_flag)
+
+let minimize_cmd =
+  let file =
+    corpus_pos ~doc:"Witness corpus (JSONL, written by --corpus-out)."
+  in
+  let run file out quiet =
+    Observe.Log.set_quiet quiet;
+    let ws = load_corpus_or_exit file in
+    let shrinks = Pm_corpus.Minimize.minimize_all ~lookup ws in
+    let stale = ref 0 in
+    List.iter
+      (fun (s : Pm_corpus.Minimize.shrink) ->
+        let w = s.Pm_corpus.Minimize.original in
+        let m = s.Pm_corpus.Minimize.minimized in
+        if not s.Pm_corpus.Minimize.reproduced then begin
+          incr stale;
+          Printf.eprintf "  [stale] %s %s: key %S does not reproduce\n"
+            (Pm_corpus.Witness.kind_label w.Pm_corpus.Witness.kind)
+            w.Pm_corpus.Witness.program w.Pm_corpus.Witness.key
+        end
+        else
+          Printf.eprintf "  [min] %s %s: %s -> %s%s (%d run%s)\n"
+            (Pm_corpus.Witness.kind_label w.Pm_corpus.Witness.kind)
+            w.Pm_corpus.Witness.program
+            (Pm_runtime.Executor.plan_label w.Pm_corpus.Witness.plan)
+            (Pm_runtime.Executor.plan_label m.Pm_corpus.Witness.plan)
+            (if s.Pm_corpus.Minimize.derandomized then ", derandomized" else "")
+            s.Pm_corpus.Minimize.runs
+            (if s.Pm_corpus.Minimize.runs = 1 then "" else "s"))
+      shrinks;
+    let minimized =
+      List.map (fun s -> s.Pm_corpus.Minimize.minimized) shrinks
+    in
+    let status =
+      Printf.sprintf "minimized %d witness(es)%s" (List.length minimized)
+        (if !stale > 0 then Printf.sprintf " (%d stale, kept unchanged)" !stale
+         else "")
+    in
+    emit_corpus ~out ~status minimized;
+    if !stale > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:"Shrink every witness with ddmin-style greedy steps (derandomize, \
+             drop the double crash, smaller crash index, tighter fuel), \
+             verifying reproduction after each step")
+    Term.(const run $ file $ out_arg $ quiet_flag)
+
+let corpus_cmd =
+  let merge =
+    let files =
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"CORPUS"
+             ~doc:"Corpora to merge, in priority order.")
+    in
+    let run files out =
+      let corpora = List.map load_corpus_or_exit files in
+      let ws, folded = Pm_corpus.Corpus.merge corpora in
+      let status =
+        Printf.sprintf "merged %d file(s): %d witness(es), %d duplicate(s) folded"
+          (List.length files) (List.length ws) folded
+      in
+      emit_corpus ~out ~status ws
+    in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:"Concatenate corpora, folding duplicate identity keys (first \
+               occurrence wins); merging a corpus with itself is the identity")
+      Term.(const run $ files $ out_arg)
+  in
+  let stats =
+    let files =
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"CORPUS"
+             ~doc:"Corpora to summarize.")
+    in
+    let run files =
+      let corpora = List.map load_corpus_or_exit files in
+      let ws, folded = Pm_corpus.Corpus.merge corpora in
+      Format.printf "%a@." Pm_corpus.Corpus.pp_stats
+        (Pm_corpus.Corpus.stats ~duplicates_folded:folded ws)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Summarize a corpus (counts per kind and program)")
+      Term.(const run $ files)
+  in
+  Cmd.group
+    (Cmd.info "corpus" ~doc:"Manage witness corpora (merge, stats)")
+    [ merge; stats ]
+
 let tables_cmd =
   let run () =
     print_endline "Table 1: Px86 reordering constraints";
@@ -317,6 +519,7 @@ let tables_cmd =
 let main =
   let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
-    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd; trace_lint_cmd ]
+    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd; trace_lint_cmd;
+      replay_cmd; minimize_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval main)

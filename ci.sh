@@ -50,4 +50,39 @@ echo "$out" | grep -q "recovery-failure" || {
   exit 1
 }
 
+echo "== witness-corpus smoke (--corpus-out + replay + minimize + merge)"
+corpus=$(mktemp /tmp/yashme-ci-corpus.XXXXXX.jsonl)
+minimized=$(mktemp /tmp/yashme-ci-corpus-min.XXXXXX.jsonl)
+merged=$(mktemp /tmp/yashme-ci-corpus-merged.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$corpus" "$minimized" "$merged"' EXIT
+# A racy benchmark records witnesses; the corpus must replay clean
+# (exit 0) in the very build that produced it.
+dune exec bin/yashme_cli.exe -- check Btree --jobs 2 --quiet \
+  --corpus-out "$corpus" >/dev/null
+test -s "$corpus" || {
+  echo "ci: check --corpus-out wrote no witnesses for Btree" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- replay "$corpus" --quiet
+# Minimization must keep every witness reproducing and never grow a
+# crash-plan index.
+dune exec bin/yashme_cli.exe -- minimize "$corpus" -o "$minimized" --quiet \
+  2>/dev/null >/dev/null
+orig_max=$(grep -o '"plan":"crash_before_flush:[0-9]*"' "$corpus" \
+  | grep -o '[0-9]*' | sort -n | tail -1)
+min_max=$(grep -o '"plan":"crash_before_flush:[0-9]*"' "$minimized" \
+  | grep -o '[0-9]*' | sort -n | tail -1)
+[ "${min_max:-0}" -le "${orig_max:-0}" ] || {
+  echo "ci: minimize grew a crash-plan index ($orig_max -> $min_max)" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- replay "$minimized" --quiet
+# Merging a corpus with itself is the identity, byte for byte.
+dune exec bin/yashme_cli.exe -- corpus merge "$corpus" "$corpus" \
+  -o "$merged" >/dev/null
+cmp "$corpus" "$merged" || {
+  echo "ci: corpus merge of a file with itself is not byte-identical" >&2
+  exit 1
+}
+
 echo "CI OK"

@@ -1,0 +1,97 @@
+type stats = {
+  total : int;
+  races : int;
+  recovery_failures : int;
+  programs : (string * int) list;
+  distinct_keys : int;
+  duplicates_folded : int;
+}
+
+let dedup ws =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let folded = ref 0 in
+  let kept =
+    List.filter
+      (fun w ->
+        let id = Witness.identity w in
+        if Hashtbl.mem seen id then begin
+          incr folded;
+          false
+        end
+        else begin
+          Hashtbl.add seen id ();
+          true
+        end)
+      ws
+  in
+  (kept, !folded)
+
+let merge corpora = dedup (List.concat corpora)
+
+let stats ?(duplicates_folded = 0) ws =
+  let races = ref 0 and rfs = ref 0 in
+  let per_program : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let keys : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (w : Witness.t) ->
+      (match w.Witness.kind with
+      | Witness.Race -> incr races
+      | Witness.Recovery_failure -> incr rfs);
+      Hashtbl.replace per_program w.Witness.program
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_program w.Witness.program));
+      Hashtbl.replace keys w.Witness.key ())
+    ws;
+  {
+    total = List.length ws;
+    races = !races;
+    recovery_failures = !rfs;
+    programs =
+      Hashtbl.fold (fun p n acc -> (p, n) :: acc) per_program []
+      |> List.sort compare;
+    distinct_keys = Hashtbl.length keys;
+    duplicates_folded;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>%d witness(es): %d race(s), %d recovery failure(s)" s.total s.races
+    s.recovery_failures;
+  Format.fprintf ppf "@,distinct keys (cross-program): %d" s.distinct_keys;
+  if s.duplicates_folded > 0 then
+    Format.fprintf ppf "@,duplicates folded: %d" s.duplicates_folded;
+  List.iter
+    (fun (p, n) -> Format.fprintf ppf "@,  %-24s %d" p n)
+    s.programs;
+  Format.fprintf ppf "@]"
+
+let to_jsonl ws =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun w ->
+      Buffer.add_string buf (Witness.encode w);
+      Buffer.add_char buf '\n')
+    ws;
+  Buffer.contents buf
+
+let save path ws =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl ws))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> loop (lineno + 1) acc
+        | line -> (
+            match Witness.decode line with
+            | Ok w -> loop (lineno + 1) (w :: acc)
+            | Error msg ->
+                Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      loop 1 [])

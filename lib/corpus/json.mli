@@ -1,0 +1,25 @@
+(** Dependency-free flat JSON codec for the witness corpus.
+
+    One witness is one single-line JSON object whose values are scalars
+    (string, int, float, bool, null) — no nesting.  The encoder is
+    deterministic (field order preserved, fixed number rendering), so a
+    corpus emitted twice from the same exploration is byte-identical;
+    {!Observe.Trace.check_jsonl} accepts everything {!encode_obj}
+    produces.
+
+    The value type is a structural polymorphic variant shared with
+    {!Pm_harness.Scenario.field}, so option field lists flow through
+    without conversion. *)
+
+type value = [ `S of string | `I of int | `B of bool | `F of float | `Null ]
+
+(** Escape and quote a JSON string. *)
+val escape : string -> string
+
+(** Render a flat object; field order is preserved verbatim. *)
+val encode_obj : (string * value) list -> string
+
+(** Parse a flat object.  Rejects nested arrays/objects (the corpus
+    format has none) with a descriptive error.  Floats are
+    distinguished from ints by the presence of [.], [e] or [E]. *)
+val decode_obj : string -> ((string * value) list, string) result

@@ -1,0 +1,165 @@
+module Executor = Pm_runtime.Executor
+module Scenario = Pm_harness.Scenario
+module Engine = Pm_harness.Engine
+module Runner = Pm_harness.Runner
+module Finding = Pm_harness.Finding
+
+let version = 1
+
+type kind = Race | Recovery_failure
+
+let kind_label = function
+  | Race -> "race"
+  | Recovery_failure -> "recovery_failure"
+
+let kind_of_label = function
+  | "race" -> Some Race
+  | "recovery_failure" -> Some Recovery_failure
+  | _ -> None
+
+type t = {
+  kind : kind;
+  program : string;
+  key : string;
+  plan : Executor.plan;
+  post_plan : Executor.plan;
+  options : Scenario.options;
+  summary : string;
+}
+
+let identity w =
+  Printf.sprintf "%s|%s|%s" (kind_label w.kind) w.program w.key
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                        *)
+
+(* Field order is part of the format: a corpus re-emitted from equal
+   witnesses must be byte-identical (merge idempotence, jobs
+   invariance). *)
+let encode w =
+  Json.encode_obj
+    ([
+       ("v", `I version);
+       ("kind", `S (kind_label w.kind));
+       ("program", `S w.program);
+       ("key", `S w.key);
+       ("plan", `S (Executor.plan_label w.plan));
+       ("post_plan", `S (Executor.plan_label w.post_plan));
+     ]
+    @ (Scenario.options_fields w.options :> (string * Json.value) list)
+    @ [ ("summary", `S w.summary) ])
+
+let decode line =
+  let ( let* ) = Result.bind in
+  let* fields = Json.decode_obj line in
+  let str key =
+    match List.assoc_opt key fields with
+    | Some (`S s) -> Ok s
+    | _ -> Error (Printf.sprintf "witness: missing or non-string %S" key)
+  in
+  let* () =
+    match List.assoc_opt "v" fields with
+    | Some (`I v) when v = version -> Ok ()
+    | Some (`I v) ->
+        Error
+          (Printf.sprintf "witness: format version %d (this build reads %d)" v
+             version)
+    | _ -> Error "witness: missing version field \"v\""
+  in
+  let* kind =
+    let* s = str "kind" in
+    match kind_of_label s with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "witness: unknown kind %S" s)
+  in
+  let* program = str "program" in
+  let* key = str "key" in
+  let plan_field name =
+    let* s = str name in
+    match Executor.plan_of_label s with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "witness: unknown %s %S" name s)
+  in
+  let* plan = plan_field "plan" in
+  let* post_plan = plan_field "post_plan" in
+  let* options =
+    Scenario.options_of_fields (fields :> (string * Scenario.field) list)
+  in
+  let* summary = str "summary" in
+  Ok { kind; program; key; plan; post_plan; options; summary }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario reconstruction                                              *)
+
+let scenario_of ~lookup w =
+  match lookup w.program with
+  | None -> Error (Printf.sprintf "unknown program %S" w.program)
+  | Some p -> (
+      match Engine.materialize_setup ~options:w.options p with
+      | setup ->
+          Ok
+            (Scenario.of_program ~post_plan:w.post_plan ~setup ~plan:w.plan
+               ~options:w.options p)
+      | exception e ->
+          Error
+            (Printf.sprintf "setup of %S raised %s" w.program
+               (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                           *)
+
+type extraction = { witnesses : t list; raw : int; duplicates : int }
+
+let of_pairs ~program pairs =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let acc = ref [] in
+  let raw = ref 0 in
+  let dups = ref 0 in
+  let emit w =
+    incr raw;
+    let id = identity w in
+    if Hashtbl.mem seen id then incr dups
+    else begin
+      Hashtbl.add seen id ();
+      acc := w :: !acc
+    end
+  in
+  let of_scenario (s : Scenario.t) kind key summary =
+    {
+      kind;
+      program;
+      key;
+      plan = s.Scenario.plan;
+      post_plan = s.Scenario.post_plan;
+      options = s.Scenario.options;
+      summary;
+    }
+  in
+  let races s rs =
+    List.iter
+      (fun (r : Yashme.Race.t) ->
+        emit
+          (of_scenario s Race (Yashme.Race.dedup_key r) (Yashme.Race.to_string r)))
+      rs
+  in
+  List.iter
+    (fun ((s : Scenario.t), (result : Engine.scenario_result), evidence) ->
+      match (result, (evidence : Runner.evidence)) with
+      | Engine.Completed c, Runner.Full -> races s c.Engine.races
+      | Engine.Faulted f, Runner.Full | Engine.Faulted f, Runner.Faults_only ->
+          (* Race evidence gathered before the fault only counts when
+             the report kept it ([Full]); the recovery-failure finding
+             itself always does. *)
+          (match evidence with
+          | Runner.Full -> races s f.Engine.f_races
+          | Runner.Faults_only -> ());
+          if Finding.is_recovery_failure f.Engine.f_info then
+            emit
+              (of_scenario s Recovery_failure
+                 (Finding.recovery_failure_key f.Engine.f_info)
+                 (Finding.to_string f.Engine.f_info))
+      | Engine.Completed _, Runner.Faults_only -> ())
+    pairs;
+  { witnesses = List.rev !acc; raw = !raw; duplicates = !dups }
+
+let of_outcome ~program (o : Runner.outcome) = of_pairs ~program o.Runner.o_pairs

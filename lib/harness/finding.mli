@@ -46,5 +46,10 @@ val is_recovery_failure : fault -> bool
     exception text — no backtrace, no seed. *)
 val recovery_failure_key : fault -> string
 
+(** {!recovery_failure_key} from its components — the corpus replayer
+    recomputes candidate keys without building a full fault record. *)
+val make_recovery_failure_key :
+  label:string -> plan:string -> post_plan:string -> exn_text:string -> string
+
 val pp : Format.formatter -> fault -> unit
 val to_string : fault -> string

@@ -86,6 +86,11 @@ let with_metrics t metrics = { t with metrics }
 let real t = List.filter (fun f -> not f.benign) t.findings
 let benign t = List.filter (fun f -> f.benign) t.findings
 
+(* Key projections for the corpus round-trip property: every witness
+   emitted for a run must map onto exactly these keys. *)
+let keys t = List.map (fun f -> f.label) t.findings
+let recovery_failure_keys t = List.map (fun r -> r.rf_key) t.recovery_failures
+
 let pp_recovery_failure ppf r =
   Format.fprintf ppf "[recovery-failure] %s (seed %d) (%d report%s)" r.rf_key
     r.rf_example.Finding.seed r.rf_count

@@ -68,6 +68,13 @@ val real : t -> finding list
 
 val benign : t -> finding list
 
+(** Race keys of all findings (benign included), in report order —
+    the identity set the witness corpus must cover exactly. *)
+val keys : t -> string list
+
+(** Recovery-failure keys, in report order. *)
+val recovery_failure_keys : t -> string list
+
 (** Render one recovery-failure finding (key, repro seed, count). *)
 val pp_recovery_failure : Format.formatter -> recovery_failure -> unit
 

@@ -138,16 +138,38 @@ let report_of_run ~program ~executions run =
     ~diverged:(Engine.diverged_count run)
     (Engine.races run)
 
-let model_check_run ?(options = default_options) ?(jobs = 1)
+(* ------------------------------------------------------------------ *)
+(* Outcomes: report + stats + the scenario/result pairs behind them    *)
+
+type evidence = Full | Faults_only
+
+type outcome = {
+  o_report : Report.t;
+  o_stats : Engine.stats;
+  o_pairs : (Scenario.t * Engine.scenario_result * evidence) list;
+}
+
+let probe_outcome ~program ~jobs fault =
+  {
+    o_report =
+      Report.dedup ~program ~executions:0 ~faults:[ fault ] [];
+    o_stats = empty_stats ~jobs;
+    o_pairs = [];
+  }
+
+(* Zip a batch with its submission-ordered results, tagging every pair
+   [Full]: both its races and its fault (if any) reach the report. *)
+let full_pairs scenarios (run : Engine.run_result) =
+  List.map2 (fun s r -> (s, r, Full)) scenarios run.Engine.results
+
+let model_check_outcome ?(options = default_options) ?(jobs = 1)
     ?(fail_fast = false) (p : Program.t) =
   match
     guarded_probe ~options p (fun () ->
         let setup = Engine.materialize_setup ~options p in
         (setup, count_points ~options ~setup p))
   with
-  | Error fault ->
-      ( Report.dedup ~program:p.Program.name ~executions:0 ~faults:[ fault ] [],
-        empty_stats ~jobs )
+  | Error fault -> probe_outcome ~program:p.Program.name ~jobs fault
   | Ok (setup, points) ->
       let scenarios =
         List.map
@@ -155,9 +177,17 @@ let model_check_run ?(options = default_options) ?(jobs = 1)
           (model_check_plans points)
       in
       let run = Engine.run ~jobs ~fail_fast scenarios in
-      ( report_of_run ~program:p.Program.name
-          ~executions:(List.length scenarios) run,
-        run.Engine.stats )
+      {
+        o_report =
+          report_of_run ~program:p.Program.name
+            ~executions:(List.length scenarios) run;
+        o_stats = run.Engine.stats;
+        o_pairs = full_pairs scenarios run;
+      }
+
+let model_check_run ?options ?jobs ?fail_fast p =
+  let o = model_check_outcome ?options ?jobs ?fail_fast p in
+  (o.o_report, o.o_stats)
 
 let model_check ?options ?jobs ?fail_fast p =
   fst (model_check_run ?options ?jobs ?fail_fast p)
@@ -186,7 +216,7 @@ let model_check_seq ?(options = default_options) (p : Program.t) =
    crashes").  Wave 1 probes each pre-crash point for the recovery's
    own flush points; wave 2 explores the (pre point x recovery point)
    grid.  Both waves are engine batches. *)
-let model_check_recovery_run ?(options = default_options) ?(jobs = 1)
+let model_check_recovery_outcome ?(options = default_options) ?(jobs = 1)
     ?(fail_fast = false) (p : Program.t) =
   let program = p.Program.name ^ "+recovery" in
   match
@@ -194,17 +224,13 @@ let model_check_recovery_run ?(options = default_options) ?(jobs = 1)
         let setup = Engine.materialize_setup ~options p in
         (setup, count_points ~options ~setup p))
   with
-  | Error fault ->
-      ( Report.dedup ~program ~executions:0 ~faults:[ fault ] [],
-        empty_stats ~jobs )
+  | Error fault -> probe_outcome ~program ~jobs fault
   | Ok (setup, points) ->
       let pre_plans = model_check_plans points in
-      let probes =
-        Engine.run ~jobs ~fail_fast
-          (List.map
-             (fun plan -> Scenario.of_program ~setup ~plan ~options p)
-             pre_plans)
+      let probe_scenarios =
+        List.map (fun plan -> Scenario.of_program ~setup ~plan ~options p) pre_plans
       in
+      let probes = Engine.run ~jobs ~fail_fast probe_scenarios in
       (* A probe that faulted contributes no grid scenarios; its fault
          still reaches the report below. *)
       let scenarios =
@@ -234,13 +260,37 @@ let model_check_recovery_run ?(options = default_options) ?(jobs = 1)
                | Engine.Faulted _ -> false)
              run.Engine.results)
       in
+      (* Evidence tags mirror the report exactly: probe races never
+         reach it (the probe wave only sizes the grid), probe faults
+         do; grid races only count when the whole chain crashed. *)
+      let probe_pairs =
+        List.map2
+          (fun s r -> (s, r, Faults_only))
+          probe_scenarios probes.Engine.results
+      in
+      let grid_pairs =
+        List.map2
+          (fun s (r : Engine.scenario_result) ->
+            match r with
+            | Engine.Completed c when not (keep c) -> (s, r, Faults_only)
+            | Engine.Completed _ | Engine.Faulted _ -> (s, r, Full))
+          scenarios run.Engine.results
+      in
       (* Probe-wave faults and divergences ride along, in probe-then-grid
          submission order. *)
-      ( Report.dedup ~program ~executions
-          ~faults:(Engine.faults probes @ Engine.faults run)
-          ~diverged:(Engine.diverged_count probes + Engine.diverged_count run)
-          (Engine.races ~keep run),
-        run.Engine.stats )
+      {
+        o_report =
+          Report.dedup ~program ~executions
+            ~faults:(Engine.faults probes @ Engine.faults run)
+            ~diverged:(Engine.diverged_count probes + Engine.diverged_count run)
+            (Engine.races ~keep run);
+        o_stats = run.Engine.stats;
+        o_pairs = probe_pairs @ grid_pairs;
+      }
+
+let model_check_recovery_run ?options ?jobs ?fail_fast p =
+  let o = model_check_recovery_outcome ?options ?jobs ?fail_fast p in
+  (o.o_report, o.o_stats)
 
 let model_check_recovery ?options ?jobs ?fail_fast p =
   fst (model_check_recovery_run ?options ?jobs ?fail_fast p)
@@ -328,18 +378,23 @@ let random_scenarios ~options ~execs (p : Program.t) =
   in
   build 0 []
 
-let random_mode_run ?(options = default_options) ?(jobs = 1)
+let random_mode_outcome ?(options = default_options) ?(jobs = 1)
     ?(fail_fast = false) ~execs (p : Program.t) =
   let options = { options with seed = program_seed p options.seed } in
   match guarded_probe ~options p (fun () -> random_scenarios ~options ~execs p)
   with
-  | Error fault ->
-      ( Report.dedup ~program:p.Program.name ~executions:0 ~faults:[ fault ] [],
-        empty_stats ~jobs )
+  | Error fault -> probe_outcome ~program:p.Program.name ~jobs fault
   | Ok scenarios ->
       let run = Engine.run ~jobs ~fail_fast scenarios in
-      ( report_of_run ~program:p.Program.name ~executions:execs run,
-        run.Engine.stats )
+      {
+        o_report = report_of_run ~program:p.Program.name ~executions:execs run;
+        o_stats = run.Engine.stats;
+        o_pairs = full_pairs scenarios run;
+      }
+
+let random_mode_run ?options ?jobs ?fail_fast ~execs p =
+  let o = random_mode_outcome ?options ?jobs ?fail_fast ~execs p in
+  (o.o_report, o.o_stats)
 
 let random_mode ?options ?jobs ?fail_fast ~execs p =
   fst (random_mode_run ?options ?jobs ?fail_fast ~execs p)

@@ -66,6 +66,42 @@ val run_once_traced :
   Program.t ->
   Yashme.Detector.t * Px86.Trace.t
 
+(** {2 Outcomes}
+
+    The corpus subsystem needs more than the deduplicated report: to
+    serialize a race witness it must know {e which scenario} (crash
+    plan, seed, options) first produced each race key.  Each driver
+    therefore has an [_outcome] variant returning the report, the
+    engine statistics {e and} the submission-ordered scenario/result
+    pairs behind them.  Every pair carries an {!evidence} tag mirroring
+    exactly what the report kept: [Full] pairs contribute races and
+    faults, [Faults_only] pairs only faults (the recovery driver's
+    probe wave, and grid scenarios whose chain did not fully crash —
+    their races are not in the report, so no witness may cite them). *)
+
+type evidence = Full | Faults_only
+
+type outcome = {
+  o_report : Report.t;
+  o_stats : Engine.stats;
+  o_pairs : (Scenario.t * Engine.scenario_result * evidence) list;
+      (** submission order: probe wave first for the recovery driver *)
+}
+
+val model_check_outcome :
+  ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> outcome
+
+val model_check_recovery_outcome :
+  ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> outcome
+
+val random_mode_outcome :
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  execs:int ->
+  Program.t ->
+  outcome
+
 val model_check :
   ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> Report.t
 

@@ -25,6 +25,27 @@ type options = {
 
 val default_options : options
 
+(** {2 Options serialization}
+
+    The witness corpus persists a scenario's options as a flat,
+    order-stable field list; {!options_fields} and {!options_of_fields}
+    are exact inverses.  [Cut_random] is the one lossy-looking case: it
+    serializes by name and its Rng is rebuilt from the serialized seed,
+    which reproduces the original draws because the seed fully
+    determined them. *)
+
+type field = [ `S of string | `I of int | `B of bool | `F of float | `Null ]
+
+val mode_label : Yashme.Detector.mode -> string
+val mode_of_label : string -> Yashme.Detector.mode option
+val options_fields : options -> (string * field) list
+val options_of_fields : (string * field) list -> (options, string) result
+
+(** True when any option draws from an RNG at exploration time
+    ([Random_sched], [Random_drain], [Cut_random]): such witnesses are
+    re-searched for a deterministic equivalent by the minimizer. *)
+val options_randomized : options -> bool
+
 (** How a scenario obtains the trusted post-setup durable state.
 
     - [No_setup]: the program has no setup phase; boot from pristine

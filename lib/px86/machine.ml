@@ -12,6 +12,25 @@ let h_crash_lines = Metrics.histogram "px86/crash_lines"
 
 type sb_policy = Eager | Random_drain of float
 
+(* Stable textual forms for serialized witnesses (lib/corpus).  The
+   float uses %.17g so [sb_policy_of_label] recovers the exact bits. *)
+let sb_policy_label = function
+  | Eager -> "eager"
+  | Random_drain p -> Printf.sprintf "random_drain:%.17g" p
+
+let sb_policy_of_label s =
+  match s with
+  | "eager" -> Some Eager
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "random_drain" -> (
+          match
+            float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some p -> Some (Random_drain p)
+          | None -> None)
+      | _ -> None)
+
 type config = {
   sb_policy : sb_policy;
   rng : Rng.t;
@@ -269,6 +288,20 @@ let cas t ~tid ~addr ~size ~expected ~desired ~label =
 (* Crashes                                                             *)
 
 type cut_strategy = Cut_all | Cut_lowerbound | Cut_random of Rng.t
+
+(* [Cut_random] serializes by name only: its Rng is rebuilt from the
+   witness seed on decode, which preserves replay determinism because
+   the scenario seed fully determined the original draws. *)
+let cut_label = function
+  | Cut_all -> "cut_all"
+  | Cut_lowerbound -> "cut_lowerbound"
+  | Cut_random _ -> "cut_random"
+
+let cut_of_label ~seed = function
+  | "cut_all" -> Some Cut_all
+  | "cut_lowerbound" -> Some Cut_lowerbound
+  | "cut_random" -> Some (Cut_random (Rng.create seed))
+  | _ -> None
 
 let buffered_stores t =
   Hashtbl.fold

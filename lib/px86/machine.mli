@@ -15,6 +15,13 @@ type sb_policy =
       (** after each instruction, evict random evictable entries with the
           given per-step probability, exercising Table-1 reorderings *)
 
+(** Stable textual form of a drain policy (serialized witnesses);
+    [Random_drain] renders its probability with enough digits that
+    {!sb_policy_of_label} recovers the exact float. *)
+val sb_policy_label : sb_policy -> string
+
+val sb_policy_of_label : string -> sb_policy option
+
 type config = {
   sb_policy : sb_policy;
   rng : Yashme_util.Rng.t;
@@ -78,6 +85,14 @@ type cut_strategy =
   | Cut_all  (** everything committed persisted (maximal recovery view) *)
   | Cut_lowerbound  (** only what flushes guarantee *)
   | Cut_random of Yashme_util.Rng.t  (** uniform cut at or above the bound *)
+
+(** Stable textual form of a cut strategy.  [Cut_random] renders by
+    name only — its mutable Rng is not serialized; {!cut_of_label}
+    rebuilds one from [seed] (the scenario seed that determined the
+    original draws), keeping replay deterministic. *)
+val cut_label : cut_strategy -> string
+
+val cut_of_label : seed:int -> string -> cut_strategy option
 
 (** Crash now: store-buffer contents are lost; each line persists a cut
     chosen by [strategy].  Returns the durable state for the next

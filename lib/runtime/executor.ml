@@ -17,6 +17,29 @@ let plan_label = function
   | Crash_before_op n -> Printf.sprintf "crash_before_op:%d" n
   | Crash_before_flush n -> Printf.sprintf "crash_before_flush:%d" n
 
+(* Inverse of [plan_label]; serialized witnesses round-trip plans
+   through these two functions. *)
+let plan_of_label s =
+  let indexed prefix k =
+    let pl = String.length prefix in
+    if
+      String.length s > pl
+      && String.sub s 0 pl = prefix
+      && s.[pl] = ':'
+    then
+      match int_of_string_opt (String.sub s (pl + 1) (String.length s - pl - 1)) with
+      | Some n when n >= 0 -> Some (k n)
+      | Some _ | None -> None
+    else None
+  in
+  match s with
+  | "run_to_end" -> Some Run_to_end
+  | "crash_at_end" -> Some Crash_at_end
+  | _ -> (
+      match indexed "crash_before_op" (fun n -> Crash_before_op n) with
+      | Some _ as p -> p
+      | None -> indexed "crash_before_flush" (fun n -> Crash_before_flush n))
+
 (* Per-phase operation counters: execution ids map to the setup /
    pre-crash / post-crash (recovery) phases of a failure scenario (see
    Engine).  Resolved once per [run], so the per-op cost when metrics
@@ -49,6 +72,15 @@ let m_divergences = Metrics.counter "executor/divergences"
 let h_ops = Metrics.histogram "executor/ops_per_exec"
 
 type sched_policy = Round_robin | Random_sched
+
+let sched_label = function
+  | Round_robin -> "round_robin"
+  | Random_sched -> "random"
+
+let sched_of_label = function
+  | "round_robin" -> Some Round_robin
+  | "random" -> Some Random_sched
+  | _ -> None
 
 type outcome = Completed | Crashed | Diverged
 

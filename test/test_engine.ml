@@ -67,6 +67,18 @@ let test_random_mode_determinism () =
     [ Pm_benchmarks.Memcached.program; Pm_benchmarks.Redis.program;
       Pm_benchmarks.Fast_fair.program ]
 
+(* Random mode is seeded, not stateful: with a fixed seed, two
+   consecutive runs in the same process render byte-identical
+   reports. *)
+let test_random_mode_repeatable () =
+  List.iter
+    (fun (p : Program.t) ->
+      let options = { Runner.default_options with seed = 7 } in
+      let r1 = Report.to_string (Runner.random_mode ~options ~execs:5 p) in
+      let r2 = Report.to_string (Runner.random_mode ~options ~execs:5 p) in
+      check_str (p.Program.name ^ ": fixed seed, byte-identical reruns") r1 r2)
+    [ Pm_benchmarks.Memcached.program; Pm_benchmarks.Redis.program ]
+
 (* Oversubscription and degenerate job counts must not change anything
    (jobs is clamped to the batch size and to >= 1). *)
 let test_job_count_clamping () =
@@ -362,6 +374,8 @@ let () =
           Alcotest.test_case "recovery model-check" `Slow
             test_recovery_mc_determinism;
           Alcotest.test_case "random mode" `Quick test_random_mode_determinism;
+          Alcotest.test_case "random mode: fixed seed repeatable" `Quick
+            test_random_mode_repeatable;
           Alcotest.test_case "job-count clamping" `Quick test_job_count_clamping;
           Alcotest.test_case "Cut_random forces sequential" `Quick
             test_cut_random_forces_sequential;
