@@ -200,8 +200,10 @@ module Engine = Pm_harness.Engine
 (* Model-check a few multi-flush-point benchmarks through the engine at
    jobs=1 and jobs=N and report scenario/execution/op throughput, plus
    one machine-readable JSON line per benchmark (the driver consuming
-   the bench output parses these). *)
-let engine_throughput ~jobs () =
+   the bench output parses these).  The same lines are written to
+   [out] — the summary file [yashme bench-diff] gates against a
+   committed baseline. *)
+let engine_throughput ~jobs ~out () =
   section
     (Printf.sprintf "Exploration engine throughput (model checking, jobs=%d)"
        jobs);
@@ -254,51 +256,66 @@ let engine_throughput ~jobs () =
            Printf.sprintf "jobs=%d" jobs; "speedup"; "ops/s" ]
        rows);
   print_endline "engine-throughput JSON:";
-  List.iter
-    (fun (name, (s1 : Engine.stats), (sn : Engine.stats), diff,
-          (e : Pm_corpus.Witness.extraction)) ->
-      let c = counter_of diff in
-      let dedup_rate =
-        if e.Pm_corpus.Witness.raw = 0 then 0.0
-        else
-          float_of_int e.Pm_corpus.Witness.duplicates
-          /. float_of_int e.Pm_corpus.Witness.raw
-      in
-      let executor_loads =
-        c "executor/setup/loads" + c "executor/pre/loads" + c "executor/post/loads"
-      in
-      let executor_stores =
-        c "executor/setup/stores" + c "executor/pre/stores"
-        + c "executor/post/stores"
-      in
-      Printf.printf
-        "{\"bench\":%S,\"jobs\":%d,\"scenarios\":%d,\"faulted\":%d,\
-         \"diverged\":%d,\"executions\":%d,\"ops\":%d,\
-         \"elapsed_s_jobs1\":%.6f,\"elapsed_s\":%.6f,\"speedup\":%.3f,\
-         \"ops_per_s\":%.1f,\"cpu_s\":%.6f,\
-         \"detector_candidates\":%d,\"detector_prefix_expansions\":%d,\
-         \"detector_cv_comparisons\":%d,\"detector_races_raised\":%d,\
-         \"detector_races_benign\":%d,\"executor_loads\":%d,\
-         \"executor_stores\":%d,\"px86_sb_evictions\":%d,\"px86_fb_applies\":%d,\
-         \"px86_crashes\":%d,\"witnesses_emitted\":%d,\"corpus_dedup_rate\":%.4f}\n"
-        name sn.Engine.jobs sn.Engine.scenarios sn.Engine.faulted
-        sn.Engine.diverged sn.Engine.executions
-        sn.Engine.ops s1.Engine.elapsed_s sn.Engine.elapsed_s
-        (s1.Engine.elapsed_s /. sn.Engine.elapsed_s)
-        (float_of_int sn.Engine.ops /. sn.Engine.elapsed_s)
-        sn.Engine.cpu_s
-        (c "detector/candidate_checks")
-        (c "detector/prefix_expansions")
-        (c "detector/cv_comparisons")
-        (c "detector/races_raised")
-        (c "detector/races_benign")
-        executor_loads executor_stores
-        (c "px86/sb_evictions")
-        (c "px86/fb_applies")
-        (c "px86/crash_materializations")
-        (List.length e.Pm_corpus.Witness.witnesses)
-        dedup_rate)
-    measured
+  (* Divisions guard against elapsed ~ 0 (a degenerate fast run must
+     not print "inf", which is not JSON). *)
+  let safe_div a b = if b > 0. then a /. b else 0. in
+  let json_lines =
+    List.map
+      (fun (name, (s1 : Engine.stats), (sn : Engine.stats), diff,
+            (e : Pm_corpus.Witness.extraction)) ->
+        let c = counter_of diff in
+        let dedup_rate =
+          if e.Pm_corpus.Witness.raw = 0 then 0.0
+          else
+            float_of_int e.Pm_corpus.Witness.duplicates
+            /. float_of_int e.Pm_corpus.Witness.raw
+        in
+        let executor_loads =
+          c "executor/setup/loads" + c "executor/pre/loads"
+          + c "executor/post/loads"
+        in
+        let executor_stores =
+          c "executor/setup/stores" + c "executor/pre/stores"
+          + c "executor/post/stores"
+        in
+        Pm_corpus.Json.encode_obj
+          [ ("bench", `S name);
+            ("jobs", `I sn.Engine.jobs);
+            ("scenarios", `I sn.Engine.scenarios);
+            ("faulted", `I sn.Engine.faulted);
+            ("diverged", `I sn.Engine.diverged);
+            ("executions", `I sn.Engine.executions);
+            ("ops", `I sn.Engine.ops);
+            ("elapsed_s_jobs1", `F s1.Engine.elapsed_s);
+            ("elapsed_s", `F sn.Engine.elapsed_s);
+            ("speedup", `F (safe_div s1.Engine.elapsed_s sn.Engine.elapsed_s));
+            ("ops_per_s", `F (safe_div (float_of_int sn.Engine.ops) sn.Engine.elapsed_s));
+            ("cpu_s", `F sn.Engine.cpu_s);
+            ("detector_candidates", `I (c "detector/candidate_checks"));
+            ("detector_prefix_expansions", `I (c "detector/prefix_expansions"));
+            ("detector_cv_comparisons", `I (c "detector/cv_comparisons"));
+            ("detector_races_raised", `I (c "detector/races_raised"));
+            ("detector_races_benign", `I (c "detector/races_benign"));
+            ("executor_loads", `I executor_loads);
+            ("executor_stores", `I executor_stores);
+            ("px86_sb_evictions", `I (c "px86/sb_evictions"));
+            ("px86_fb_applies", `I (c "px86/fb_applies"));
+            ("px86_crashes", `I (c "px86/crash_materializations"));
+            ("witnesses_emitted", `I (List.length e.Pm_corpus.Witness.witnesses));
+            ("corpus_dedup_rate", `F dedup_rate) ])
+      measured
+  in
+  List.iter print_endline json_lines;
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        json_lines);
+  Printf.printf "engine-throughput summary written to %s\n" out
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out                    *)
@@ -515,18 +532,37 @@ let jobs_arg =
   in
   scan (Array.to_list Sys.argv)
 
+(* [--out FILE] places the engine-throughput summary (default: the
+   baseline path committed at the repo root). *)
+let out_arg =
+  let rec scan = function
+    | "--out" :: f :: _ -> f
+    | _ :: rest -> scan rest
+    | [] -> "BENCH_engine_throughput.json"
+  in
+  scan (Array.to_list Sys.argv)
+
+(* [--throughput-only] skips the paper tables: the fast path CI's bench
+   gate runs twice back to back. *)
+let throughput_only = Array.exists (String.equal "--throughput-only") Sys.argv
+
 let () =
   print_endline "Yashme reproduction benchmark harness";
-  print_endline "(shapes, not absolute numbers, are the target; see EXPERIMENTS.md)";
-  figure1 ();
-  table1 ();
-  table2a ();
-  table2b ();
-  let t3 = table3 () in
-  let t4 = table4 () in
-  table5 ();
-  engine_throughput ~jobs:jobs_arg ();
-  ablations ();
-  bechamel_suite ();
-  section "Summary";
-  Printf.printf "distinct real persistency races found: %d (paper: 24)\n" (t3 + t4)
+  if throughput_only then engine_throughput ~jobs:jobs_arg ~out:out_arg ()
+  else begin
+    print_endline
+      "(shapes, not absolute numbers, are the target; see EXPERIMENTS.md)";
+    figure1 ();
+    table1 ();
+    table2a ();
+    table2b ();
+    let t3 = table3 () in
+    let t4 = table4 () in
+    table5 ();
+    engine_throughput ~jobs:jobs_arg ~out:out_arg ();
+    ablations ();
+    bechamel_suite ();
+    section "Summary";
+    Printf.printf "distinct real persistency races found: %d (paper: 24)\n"
+      (t3 + t4)
+  end

@@ -6,6 +6,8 @@
    yashme replay CORPUS                 re-run recorded witnesses (regression gate)
    yashme minimize CORPUS               ddmin-shrink recorded witnesses
    yashme corpus merge|stats            manage witness corpora
+   yashme profile TRACE                 hot-spot tables from a recorded trace
+   yashme bench-diff BASE CUR           benchmark regression gate
    yashme tables                        print the reorder/compiler tables *)
 
 open Cmdliner
@@ -81,8 +83,52 @@ let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
 
 let quiet_flag =
-  let doc = "Suppress warnings (e.g. the Cut_random fallback to --jobs 1)." in
+  let doc = "Suppress warnings (e.g. the Cut_random fallback to --jobs 1).  \
+             Alias for $(b,--log-level off)." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let log_level_conv =
+  let parse s =
+    match Observe.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown log level %S (off|warn|info|debug)" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Observe.Log.level_to_string l) in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  let doc = "Stderr logging threshold: $(b,off), $(b,warn) (default), \
+             $(b,info) or $(b,debug).  Takes precedence over --quiet; the \
+             trace mirror of log messages is unaffected." in
+  Arg.(value & opt (some log_level_conv) None & info [ "log-level" ] ~doc ~docv:"LEVEL")
+
+let coverage_flag =
+  let doc = "Account crash-space coverage per program (crash-plan indices \
+             exercised, crash points fired, detector expansions vs pruned \
+             checks, distinct cache lines materialized) and print a coverage \
+             block after each report.  Totals are identical for every --jobs \
+             count; the race report itself is byte-identical with or without \
+             this flag." in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
+let coverage_out =
+  let doc = "Also write the merged coverage snapshot to $(docv) as JSONL (one \
+             flat object per program, deterministic field order).  Implies \
+             --coverage." in
+  Arg.(value & opt (some string) None & info [ "coverage-out" ] ~doc ~docv:"FILE")
+
+let progress_flag =
+  let doc = "Print a live progress heartbeat to stderr (scenarios done/total, \
+             rate, races and faults so far, ETA), throttled to twice a \
+             second.  Purely informational: the report is unaffected." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let progress_out =
+  let doc = "Stream progress updates to $(docv) as JSONL (one flat object per \
+             emission).  Independent of --progress: without it, nothing is \
+             printed to stderr." in
+  Arg.(value & opt (some string) None & info [ "progress-out" ] ~doc ~docv:"FILE")
 
 let max_ops_arg =
   let doc = "Fuel budget: terminate any execution phase after $(docv) scheduled \
@@ -113,10 +159,50 @@ let fail_fast_flag =
   Arg.(value & flag & info [ "fail-fast" ] ~doc)
 
 (* Arm the observe layer before a detection run... *)
-let observe_setup ~metrics ~trace_out ~quiet =
-  Observe.Log.set_quiet quiet;
+let observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
+    ~trace_out ~quiet () =
+  (match log_level with
+  | Some l -> Observe.Log.set_level l
+  | None -> Observe.Log.set_quiet quiet);
   if metrics then Observe.Metrics.enable ();
+  if coverage then begin
+    Observe.Coverage.enable ();
+    Observe.Coverage.reset ()
+  end;
+  if progress || progress_out <> None then
+    Observe.Progress.start ~heartbeat:progress ?jsonl:progress_out ();
   if trace_out <> None then Observe.Trace.start ()
+
+(* Progress winds down before the report prints, so the final
+   heartbeat never interleaves with findings. *)
+let finish_progress () = ignore (Observe.Progress.stop ())
+
+(* The merged coverage snapshot as JSONL: one flat object per program,
+   through the corpus codec so field order and number rendering are
+   deterministic. *)
+let write_coverage_file = function
+  | None -> ()
+  | Some file ->
+      let stats = Observe.Coverage.snapshot () in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun s ->
+              output_string oc
+                (Pm_corpus.Json.encode_obj (Observe.Coverage.fields s));
+              output_char oc '\n')
+            stats);
+      Printf.printf "coverage: %d program(s) written to %s\n" (List.length stats)
+        file
+
+let attach_coverage ~coverage (p : Pm_harness.Program.t) r =
+  if not coverage then r
+  else
+    match Observe.Coverage.find p.Pm_harness.Program.name with
+    | Some c -> Pm_harness.Report.with_coverage r c
+    | None -> r
 
 (* ...and flush it afterwards: write the trace file, if one was asked
    for. *)
@@ -226,13 +312,16 @@ let check_cmd =
            ~doc:"Benchmark name (see $(b,yashme list)).")
   in
   let run bench run_mode dmode execs jobs seed show_benign eadr no_coherence
-      no_candidates metrics trace_out quiet max_ops timeout fail_fast corpus_out =
+      no_candidates metrics trace_out quiet max_ops timeout fail_fast corpus_out
+      log_level coverage coverage_out progress progress_out =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
         exit 1
     | p ->
-        observe_setup ~metrics ~trace_out ~quiet;
+        let coverage = coverage || coverage_out <> None in
+        observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
+          ~trace_out ~quiet ();
         let before = if metrics then Observe.Metrics.snapshot () else [] in
         let o =
           outcome_program run_mode
@@ -240,6 +329,7 @@ let check_cmd =
                ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
         in
+        finish_progress ();
         let r = o.Pm_harness.Runner.o_report in
         let r =
           if metrics then
@@ -247,8 +337,11 @@ let check_cmd =
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
+        let r = attach_coverage ~coverage p r in
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
+        if coverage then print_endline (Pm_harness.Report.coverage_to_string r);
+        write_coverage_file coverage_out;
         if corpus_out <> None then
           write_corpus ~corpus_out
             [ Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o ];
@@ -258,7 +351,8 @@ let check_cmd =
     Term.(
       const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
       $ eadr_flag $ no_coherence $ no_candidates $ metrics_flag $ trace_out
-      $ quiet_flag $ max_ops_arg $ timeout_arg $ fail_fast_flag $ corpus_out)
+      $ quiet_flag $ max_ops_arg $ timeout_arg $ fail_fast_flag $ corpus_out
+      $ log_level_arg $ coverage_flag $ coverage_out $ progress_flag $ progress_out)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -296,8 +390,11 @@ let witness_cmd =
 
 let check_all_cmd =
   let run run_mode dmode execs jobs seed show_benign metrics trace_out quiet
-      max_ops timeout fail_fast corpus_out =
-    observe_setup ~metrics ~trace_out ~quiet;
+      max_ops timeout fail_fast corpus_out log_level coverage coverage_out
+      progress progress_out =
+    let coverage = coverage || coverage_out <> None in
+    observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
+      ~trace_out ~quiet ();
     let suite_before = if metrics then Observe.Metrics.snapshot () else [] in
     let total = ref 0 in
     let extractions = ref [] in
@@ -316,6 +413,7 @@ let check_all_cmd =
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
+        let r = attach_coverage ~coverage p r in
         if corpus_out <> None then
           extractions :=
             Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
@@ -323,10 +421,13 @@ let check_all_cmd =
         total := !total + List.length (Pm_harness.Report.real r);
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
+        if coverage then print_endline (Pm_harness.Report.coverage_to_string r);
         print_newline ())
       Pm_benchmarks.Registry.all;
+    finish_progress ();
     Printf.printf "total distinct persistency races: %d\n" !total;
     write_corpus ~corpus_out (List.rev !extractions);
+    write_coverage_file coverage_out;
     if metrics then
       print_metrics_summary ~title:"metrics summary (whole suite)"
         (Observe.Metrics.diff suite_before (Observe.Metrics.snapshot ()));
@@ -336,7 +437,8 @@ let check_all_cmd =
     Term.(
       const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
       $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
-      $ fail_fast_flag $ corpus_out)
+      $ fail_fast_flag $ corpus_out $ log_level_arg $ coverage_flag
+      $ coverage_out $ progress_flag $ progress_out)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
 
@@ -360,6 +462,108 @@ let trace_lint_cmd =
     (Cmd.info "trace-lint"
        ~doc:"Validate a trace file emitted by --trace-out (JSON well-formedness)")
     Term.(const run $ file)
+
+let profile_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+           ~doc:"Trace file written by --trace-out (JSONL when the name ends \
+                 in .jsonl, Chrome trace JSON otherwise).")
+  in
+  let top =
+    let doc = "Rows per hot-spot table." in
+    Arg.(value & opt int 15 & info [ "top" ] ~doc ~docv:"N")
+  in
+  let run file top =
+    match Observe.Profile.parse_file file with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | Ok events ->
+        let fmt_us us = Printf.sprintf "%.3fms" (float_of_int us /. 1000.) in
+        let take n l = List.filteri (fun i _ -> i < n) l in
+        let rows_of rows =
+          List.map
+            (fun (r : Observe.Profile.row) ->
+              [ r.Observe.Profile.r_key;
+                string_of_int r.Observe.Profile.r_count;
+                fmt_us r.Observe.Profile.r_total_us;
+                fmt_us r.Observe.Profile.r_self_us ])
+            (take top rows)
+        in
+        Printf.printf "%s: %d event(s)\n\n" file (List.length events);
+        print_endline "hot spots by span name (self time, descending):";
+        print_endline
+          (Yashme_util.Pretty.table
+             ~header:[ "span"; "count"; "total"; "self" ]
+             (rows_of (Observe.Profile.by_name events)));
+        print_newline ();
+        print_endline "by category:";
+        print_endline
+          (Yashme_util.Pretty.table
+             ~header:[ "category"; "count"; "total"; "self" ]
+             (rows_of (Observe.Profile.by_cat events)));
+        print_newline ();
+        print_endline "lanes (pid/tid = engine worker slots):";
+        print_endline
+          (Yashme_util.Pretty.table
+             ~header:[ "pid"; "tid"; "spans"; "instants"; "busy" ]
+             (List.map
+                (fun (l : Observe.Profile.lane) ->
+                  [ string_of_int l.Observe.Profile.l_pid;
+                    string_of_int l.Observe.Profile.l_tid;
+                    string_of_int l.Observe.Profile.l_spans;
+                    string_of_int l.Observe.Profile.l_instants;
+                    fmt_us l.Observe.Profile.l_busy_us ])
+                (Observe.Profile.lanes events)))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Aggregate a recorded trace into per-phase/per-lane self-time \
+             hot-spot tables")
+    Term.(const run $ file $ top)
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE"
+           ~doc:"Committed bench summary (JSONL, written by bench --out).")
+  in
+  let current =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT"
+           ~doc:"Fresh bench summary to gate against the baseline.")
+  in
+  let tolerance =
+    let doc = "Allowed regression, in percent of the baseline value." in
+    Arg.(value & opt float 10. & info [ "tolerance" ] ~doc ~docv:"PCT")
+  in
+  let metric =
+    let doc = "Higher-is-better numeric field to compare." in
+    Arg.(value & opt string "ops_per_s" & info [ "metric" ] ~doc ~docv:"NAME")
+  in
+  let run baseline current tolerance metric =
+    let load path =
+      match Pm_corpus.Bench_gate.load path with
+      | Ok entries -> entries
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+    in
+    let b = load baseline in
+    let c = load current in
+    let o =
+      Pm_corpus.Bench_gate.diff ~metric ~tolerance ~baseline:b ~current:c ()
+    in
+    print_endline (Pm_corpus.Bench_gate.outcome_to_string o);
+    if not o.Pm_corpus.Bench_gate.passed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Gate a fresh bench summary against a committed baseline; exits \
+             non-zero when the metric regresses beyond the tolerance (or a \
+             baseline benchmark went missing)")
+    Term.(const run $ baseline $ current $ tolerance $ metric)
 
 let corpus_pos ~doc =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS" ~doc)
@@ -520,6 +724,6 @@ let main =
   let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
     [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd; trace_lint_cmd;
-      replay_cmd; minimize_cmd; corpus_cmd ]
+      profile_cmd; bench_diff_cmd; replay_cmd; minimize_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -85,4 +85,46 @@ cmp "$corpus" "$merged" || {
   exit 1
 }
 
+echo "== telemetry smoke (--coverage --progress-out + coverage determinism)"
+progress=$(mktemp /tmp/yashme-ci-progress.XXXXXX.jsonl)
+cov1=$(mktemp /tmp/yashme-ci-cov1.XXXXXX.jsonl)
+cov4=$(mktemp /tmp/yashme-ci-cov4.XXXXXX.jsonl)
+bench_cur=$(mktemp /tmp/yashme-ci-bench-cur.XXXXXX.json)
+bench_rerun=$(mktemp /tmp/yashme-ci-bench-rerun.XXXXXX.json)
+trap 'rm -f "$trace" "$corpus" "$minimized" "$merged" "$progress" "$cov1" "$cov4" "$bench_cur" "$bench_rerun"' EXIT
+dune exec bin/yashme_cli.exe -- check-all --jobs 1 --quiet \
+  --coverage-out "$cov1" --progress-out "$progress" >/dev/null
+# the progress stream is machine-readable JSONL and non-empty
+test -s "$progress" || {
+  echo "ci: --progress-out wrote nothing" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- trace-lint "$progress"
+# coverage totals are byte-identical across --jobs counts
+dune exec bin/yashme_cli.exe -- check-all --jobs 4 --quiet \
+  --coverage-out "$cov4" >/dev/null
+cmp "$cov1" "$cov4" || {
+  echo "ci: coverage snapshot differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- trace-lint "$cov1"
+
+echo "== profile smoke (trace -> hot-spot tables)"
+dune exec bin/yashme_cli.exe -- profile "$trace" --top 5 >/dev/null
+
+echo "== bench gate (committed baseline + back-to-back run)"
+# The committed baseline must gate cleanly against a fresh run of the
+# same tree.  Throughput numbers are machine-dependent, so the
+# tolerance here is deliberately loose: the gate's job in CI is to
+# catch collapses (and exercise the exit paths), not 5% noise.
+dune exec bench/main.exe -- --throughput-only --jobs 2 --out "$bench_cur" \
+  >/dev/null
+dune exec bin/yashme_cli.exe -- bench-diff BENCH_engine_throughput.json \
+  "$bench_cur" --tolerance 400
+# Two back-to-back runs of the same build must pass a generous gate.
+dune exec bench/main.exe -- --throughput-only --jobs 2 --out "$bench_rerun" \
+  >/dev/null
+dune exec bin/yashme_cli.exe -- bench-diff "$bench_cur" "$bench_rerun" \
+  --tolerance 200
+
 echo "CI OK"

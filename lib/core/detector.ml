@@ -1,5 +1,6 @@
 module Clockvec = Yashme_util.Clockvec
 module Metrics = Observe.Metrics
+module Coverage = Observe.Coverage
 
 (* Exploration-effort counters (paper Tables 4-5: counts and costs).
    All of them accumulate per-scenario detector work, so their merged
@@ -120,6 +121,7 @@ let load_atomic t ~exec ~store =
   | Some r ->
       Metrics.incr m_atomic_loads;
       Metrics.incr m_prefix_expansions;
+      Coverage.prefix_expanded ();
       let line = Px86.Addr.line store.Px86.Event.addr in
       Exec_record.join_lastflush r ~line store.Px86.Event.cv;
       Exec_record.join_cvpre r store.Px86.Event.cv
@@ -171,6 +173,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
       if covered_by_coherence || persisted then begin
         Metrics.incr
           (if covered_by_coherence then m_pruned_coherence else m_pruned_persisted);
+        Coverage.pruned (if covered_by_coherence then `Coherence else `Persisted);
         None
       end
       else begin
@@ -194,6 +197,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
   in
   if commit then begin
     Metrics.incr m_prefix_expansions;
+    Coverage.prefix_expanded ();
     Exec_record.join_cvpre r store.Px86.Event.cv
   end;
   result

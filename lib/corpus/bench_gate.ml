@@ -1,0 +1,126 @@
+(* The benchmark regression gate.
+
+   bench/main.exe writes its engine-throughput summary as a JSONL file
+   of flat objects ({!Json.encode_obj} shape); the gate re-reads two
+   such files — a committed baseline and a fresh run — and compares
+   one numeric metric per benchmark under a percentage tolerance.
+   Higher is better (the default metric is [ops_per_s]): a current
+   value below [baseline * (1 - tolerance/100)] regresses, and a
+   baseline benchmark missing from the current file fails the gate
+   outright (a silently dropped benchmark must not read as a pass). *)
+
+type entry = { e_key : string; e_fields : (string * Json.value) list }
+
+let field e name = List.assoc_opt name e.e_fields
+
+let number e name =
+  match field e name with
+  | Some (`I i) -> Some (float_of_int i)
+  | Some (`F f) -> Some f
+  | _ -> None
+
+(* Identity of one benchmark row: its name plus the job count when
+   present, so jobs=1 and jobs=N rows of one benchmark gate
+   independently. *)
+let key_of fields =
+  let str name =
+    match List.assoc_opt name fields with
+    | Some (`S s) -> Some s
+    | Some (`I i) -> Some (string_of_int i)
+    | _ -> None
+  in
+  match str "bench" with
+  | None -> None
+  | Some bench -> (
+      match str "jobs" with
+      | None -> Some bench
+      | Some jobs -> Some (Printf.sprintf "%s[jobs=%s]" bench jobs))
+
+let of_jsonl data =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' data)
+  in
+  let rec loop i acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match Json.decode_obj l with
+        | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+        | Ok fields -> (
+            match key_of fields with
+            | None -> Error (Printf.sprintf "line %d: no \"bench\" field" i)
+            | Some key -> loop (i + 1) ({ e_key = key; e_fields = fields } :: acc) rest))
+  in
+  loop 1 [] lines
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | data ->
+      if String.trim data = "" then
+        Error (Printf.sprintf "%s: empty bench file" path)
+      else of_jsonl data
+
+type verdict = {
+  v_key : string;
+  v_metric : string;
+  v_baseline : float;
+  v_current : float;
+  v_delta_pct : float;  (* (current - baseline) / baseline * 100 *)
+  v_regressed : bool;
+}
+
+type outcome = {
+  passed : bool;
+  verdicts : verdict list;  (* baseline order *)
+  missing : string list;  (* baseline keys absent from current *)
+}
+
+let diff ?(metric = "ops_per_s") ~tolerance ~baseline ~current () =
+  let verdicts = ref [] and missing = ref [] in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.e_key = b.e_key) current with
+      | None -> missing := b.e_key :: !missing
+      | Some c -> (
+          match (number b metric, number c metric) with
+          | Some bv, Some cv ->
+              let delta_pct =
+                if bv <> 0. then (cv -. bv) /. bv *. 100. else 0.
+              in
+              let regressed = cv < bv *. (1. -. (tolerance /. 100.)) in
+              verdicts :=
+                {
+                  v_key = b.e_key;
+                  v_metric = metric;
+                  v_baseline = bv;
+                  v_current = cv;
+                  v_delta_pct = delta_pct;
+                  v_regressed = regressed;
+                }
+                :: !verdicts
+          | _ ->
+              (* metric absent on either side: fail loudly, like a
+                 missing benchmark *)
+              missing := (b.e_key ^ "." ^ metric) :: !missing))
+    baseline;
+  let verdicts = List.rev !verdicts and missing = List.rev !missing in
+  let passed = missing = [] && not (List.exists (fun v -> v.v_regressed) verdicts) in
+  { passed; verdicts; missing }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s %s: baseline %.1f, current %.1f (%+.1f%%)%s" v.v_key
+    v.v_metric v.v_baseline v.v_current v.v_delta_pct
+    (if v.v_regressed then " REGRESSED" else "")
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun v -> Format.fprintf ppf "%a@," pp_verdict v) o.verdicts;
+  List.iter (fun k -> Format.fprintf ppf "%s: MISSING from current@," k) o.missing;
+  Format.fprintf ppf "bench gate: %s@]" (if o.passed then "PASS" else "FAIL")
+
+let outcome_to_string o = Format.asprintf "%a" pp_outcome o

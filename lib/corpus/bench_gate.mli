@@ -1,0 +1,58 @@
+(** The benchmark regression gate.
+
+    Compares two bench summary files (JSONL of flat {!Json} objects,
+    as written by [bench/main.exe --out]) on one numeric metric under
+    a percentage tolerance.  Metrics are higher-is-better: a current
+    value below [baseline * (1 - tolerance/100)] regresses, and a
+    baseline benchmark missing from the current file fails the gate
+    outright. *)
+
+type entry = {
+  e_key : string;  (** ["bench"] plus ["[jobs=N]"] when present *)
+  e_fields : (string * Json.value) list;
+}
+
+(** Look up a field. *)
+val field : entry -> string -> Json.value option
+
+(** Numeric field ([`I] or [`F]); [None] when absent or non-numeric. *)
+val number : entry -> string -> float option
+
+(** Parse JSONL content; every line must carry a ["bench"] field. *)
+val of_jsonl : string -> (entry list, string) result
+
+(** Read and parse a bench file; empty/unreadable files are errors. *)
+val load : string -> (entry list, string) result
+
+type verdict = {
+  v_key : string;
+  v_metric : string;
+  v_baseline : float;
+  v_current : float;
+  v_delta_pct : float;  (** (current - baseline) / baseline * 100 *)
+  v_regressed : bool;
+}
+
+type outcome = {
+  passed : bool;
+  verdicts : verdict list;  (** in baseline order *)
+  missing : string list;
+      (** baseline keys absent from current (or absent the metric) —
+          any entry here fails the gate *)
+}
+
+(** Gate [current] against [baseline].  [metric] defaults to
+    ["ops_per_s"]; [tolerance] is the allowed regression in percent.
+    Benchmarks only in [current] are ignored (new benchmarks don't
+    need a baseline to land). *)
+val diff :
+  ?metric:string ->
+  tolerance:float ->
+  baseline:entry list ->
+  current:entry list ->
+  unit ->
+  outcome
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val outcome_to_string : outcome -> string

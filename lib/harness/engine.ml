@@ -60,6 +60,15 @@ let run_recovery ?detector ?observer ~options ~inherited ~seed ~exec_id post =
   run_phase ?detector ?observer ~inherited ~options ~plan:Executor.Run_to_end
     ~seed ~exec_id post
 
+(* Coverage index of a crash plan: targeted flush-point plans carry
+   their index, crash-at-end is the pseudo-index -1 and untargeted
+   plans have none.  Kept here (not in Observe) so lib/observe stays
+   free of runtime types. *)
+let plan_index = function
+  | Executor.Crash_before_flush n -> Some n
+  | Executor.Crash_at_end -> Some (-1)
+  | Executor.Run_to_end | Executor.Crash_before_op _ -> None
+
 (* Did the crash plan of this run actually fire?  [Crash_at_end]
    completes and then crashes; targeted plans that never fired leave a
    cleanly shut-down state with no crash. *)
@@ -130,6 +139,9 @@ let run_scenario (s : Scenario.t) =
     r
   in
   let body () =
+    Observe.Coverage.scenario_started ();
+    Option.iter Observe.Coverage.plan_exercised (plan_index s.plan);
+    Option.iter Observe.Coverage.plan_exercised (plan_index s.post_plan);
     let inherited =
       match s.setup with
       | No_setup -> None
@@ -154,8 +166,10 @@ let run_scenario (s : Scenario.t) =
               ~seed:opts.seed ~exec_id:pre_exec s.pre))
     in
     let post_flush_points = ref None in
+    let pre_fired = crash_fired ~plan:s.plan pre_result in
+    if pre_fired then Option.iter Observe.Coverage.crash_point (plan_index s.plan);
     let chain_crashed =
-      crash_fired ~plan:s.plan pre_result
+      pre_fired
       && begin
            crash_seen := true;
            phase := Finding.Recovery 0;
@@ -172,6 +186,7 @@ let run_scenario (s : Scenario.t) =
            | _ ->
                let fired = crash_fired ~plan:s.post_plan r1 in
                if fired then begin
+                 Option.iter Observe.Coverage.crash_point (plan_index s.post_plan);
                  phase := Finding.Recovery 1;
                  ignore
                    (note
@@ -195,7 +210,7 @@ let run_scenario (s : Scenario.t) =
       wall_s = now () -. t0;
     }
   in
-  match body () with
+  match Observe.Coverage.with_program s.label body with
   | c -> Completed c
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
@@ -353,6 +368,7 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
     end
   in
   let out = Array.make n None in
+  Observe.Progress.batch n;
   let next = Atomic.make 0 in
   (* Cooperative cancellation for fail-fast: a worker that records a
      fault raises the flag; every worker re-checks it before claiming
@@ -388,6 +404,13 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
                   (fun () -> run_scenario s)
               in
               out.(i) <- Some r;
+              (match r with
+              | Completed c ->
+                  Observe.Progress.tick ~races:(List.length c.races)
+                    ~faulted:false
+              | Faulted f ->
+                  Observe.Progress.tick ~races:(List.length f.f_races)
+                    ~faulted:true);
               (match r with
               | Faulted _ when fail_fast -> Atomic.set stop true
               | Faulted _ | Completed _ -> ());

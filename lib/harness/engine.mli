@@ -55,7 +55,14 @@
     [cancelled] instants; counters [engine/faults],
     [engine/recovery_failures], [engine/cancelled] and
     [executor/divergences] accumulate in {!Observe.Metrics}.  Metrics
-    are merged outside the race-report path and never affect it. *)
+    are merged outside the race-report path and never affect it.
+
+    When {!Observe.Coverage} is enabled, each scenario runs under its
+    label as the ambient coverage program, accounting crash-plan
+    indices exercised, crash points fired, detector expansions/prunes
+    and materialized cache lines; merged totals are byte-identical for
+    every [jobs] count.  When {!Observe.Progress} is active, {!run}
+    announces the batch and ticks once per finished scenario. *)
 
 (** Execution ids within one failure scenario. *)
 
@@ -98,6 +105,11 @@ val run_recovery :
   exec_id:int ->
   (unit -> unit) ->
   Pm_runtime.Executor.result
+
+(** Coverage index of a crash plan: [Crash_before_flush n] is [Some n],
+    [Crash_at_end] is [Some (-1)] (the ["end"] pseudo-index of
+    {!Observe.Coverage}), untargeted plans are [None]. *)
+val plan_index : Pm_runtime.Executor.plan -> int option
 
 (** Did this run's crash plan actually fire?  ([Crash_at_end] completes
     and then crashes; a targeted plan that never fired leaves a cleanly

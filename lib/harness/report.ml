@@ -24,6 +24,10 @@ type t = {
          per-program Metrics.diff the CLI attaches under --metrics);
          deliberately excluded from [pp]/[to_string] so the race
          report stays byte-identical with metrics on or off *)
+  coverage : Observe.Coverage.stats option;
+      (* crash-space coverage attributed to this report (attached by
+         the CLI under --coverage); excluded from [pp]/[to_string] for
+         the same byte-identity reason — rendered by [pp_coverage] *)
 }
 
 let m_duplicates = Observe.Metrics.counter "report/duplicate_races"
@@ -79,9 +83,11 @@ let dedup ~program ~executions ?(faults = []) ?(diverged = 0) races =
     fault_count = !fault_count;
     diverged;
     metrics = [];
+    coverage = None;
   }
 
 let with_metrics t metrics = { t with metrics }
+let with_coverage t coverage = { t with coverage = Some coverage }
 
 let real t = List.filter (fun f -> not f.benign) t.findings
 let benign t = List.filter (fun f -> f.benign) t.findings
@@ -133,3 +139,10 @@ let pp_metrics ppf t =
   Format.fprintf ppf "@]"
 
 let metrics_to_string t = Format.asprintf "%a" pp_metrics t
+
+let pp_coverage ppf t =
+  match t.coverage with
+  | None -> Format.fprintf ppf "@[<v>%s coverage:@,  (not recorded)@]" t.program
+  | Some c -> Observe.Coverage.pp ppf c
+
+let coverage_to_string t = Format.asprintf "%a" pp_coverage t

@@ -44,6 +44,10 @@ type t = {
           unless attached with {!with_metrics}).  Never rendered by
           {!pp}/{!to_string}: the race report is byte-identical with
           metrics on or off. *)
+  coverage : Observe.Coverage.stats option;
+      (** crash-space coverage attributed to this report ([None]
+          unless attached with {!with_coverage}).  Never rendered by
+          {!pp}/{!to_string} for the same byte-identity reason. *)
 }
 
 (** Deduplicate raw races by field label and [faults] (submission
@@ -62,6 +66,10 @@ val dedup :
 (** Attach a metrics block (e.g. an {!Observe.Metrics.diff} covering
     this report's run). *)
 val with_metrics : t -> (string * int) list -> t
+
+(** Attach the program's crash-space coverage
+    ({!Observe.Coverage.find}). *)
+val with_coverage : t -> Observe.Coverage.stats -> t
 
 (** Real (non-benign) findings. *)
 val real : t -> finding list
@@ -85,3 +93,9 @@ val to_string : t -> string
 val pp_metrics : Format.formatter -> t -> unit
 
 val metrics_to_string : t -> string
+
+(** Render the attached coverage block ({!Observe.Coverage.pp}), or a
+    ["(not recorded)"] placeholder when none is attached. *)
+val pp_coverage : Format.formatter -> t -> unit
+
+val coverage_to_string : t -> string

@@ -1,0 +1,85 @@
+(** Crash-space coverage accounting.
+
+    Answers, per program, how much of the crash space a run actually
+    explored: crash-plan indices exercised, crash points that actually
+    fired, detector prefix expansions vs pruned checks (coherence /
+    persisted), and distinct cache lines materialized by crashes.
+
+    Hooks attribute to the {e ambient program} of the calling domain —
+    set by the engine around each scenario with {!with_program} — and
+    accumulate into per-domain shards merged on read.  Every quantity
+    is a set union or a counter sum and each scenario executes exactly
+    once regardless of the pool size, so {!snapshot} (and everything
+    rendered from it) is byte-identical for every [--jobs] count.
+    Hooks fired with no ambient program (setup memoization, flush-point
+    probes) are dropped, keeping the totals scenario-attributed.
+
+    Disabled by default: each hook is a no-op behind a single
+    [Atomic.get] branch, and nothing here influences the exploration
+    being measured. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Drop all recorded coverage (the shards are kept). *)
+val reset : unit -> unit
+
+(** [with_program p f] runs [f] with [p] as the calling domain's
+    ambient program, restoring the previous ambient on exit (also on
+    exceptions). *)
+val with_program : string -> (unit -> 'a) -> 'a
+
+(** {2 Accounting hooks} — no-ops when disabled or outside
+    {!with_program}. *)
+
+(** One scenario began executing. *)
+val scenario_started : unit -> unit
+
+(** A crash-plan index was scheduled ([-1] is crash-at-end). *)
+val plan_exercised : int -> unit
+
+(** The crash of plan index [i] actually fired. *)
+val crash_point : int -> unit
+
+(** The detector expanded a consistent prefix (cvpre join). *)
+val prefix_expanded : unit -> unit
+
+(** The detector pruned a candidate check. *)
+val pruned : [ `Coherence | `Persisted ] -> unit
+
+(** A crash materialization persisted cache line [line]. *)
+val line_materialized : int -> unit
+
+(** {2 Merge-on-read snapshots} *)
+
+type stats = {
+  program : string;
+  scenarios : int;
+  plan_indices : int list;  (** sorted; [-1] = crash-at-end *)
+  crash_points : int list;  (** sorted; indices whose crash fired *)
+  prefix_expansions : int;
+  pruned_coherence : int;
+  pruned_persisted : int;
+  lines_materialized : int;  (** distinct cache lines *)
+}
+
+(** Merged per-program coverage, sorted by program name. *)
+val snapshot : unit -> stats list
+
+val find : string -> stats option
+
+(** Compact range rendering of a sorted index set (e.g. ["0-9,12,end"];
+    [-1] renders as ["end"], the empty set as ["-"]). *)
+val indices_label : int list -> string
+
+type field = [ `S of string | `I of int | `B of bool | `F of float | `Null ]
+
+(** Flat, order-stable field list — the shape [Pm_corpus.Json]
+    encodes verbatim as one JSON object per program. *)
+val fields : stats -> (string * field) list
+
+(** The [\[coverage\]] block rendered under a report. *)
+val pp : Format.formatter -> stats -> unit
+
+val to_string : stats -> string

@@ -1,0 +1,119 @@
+(* Live exploration progress.
+
+   The engine announces each batch ([batch n]) and ticks once per
+   finished scenario; this module turns the ticks into a throttled
+   heartbeat on stderr and, optionally, a machine-readable JSONL
+   stream (one flat object per emission, accepted by
+   [Trace.check_jsonl]).
+
+   Progress is wall-clock by nature (rate, ETA), so it is kept
+   strictly out of the deterministic report path: nothing here is read
+   back by the harness, and when inactive a tick costs one [Atomic.get]
+   branch. *)
+
+let active = Atomic.make false
+let is_active () = Atomic.get active
+
+type state = {
+  mutable total : int;
+  mutable finished : int;
+  mutable races : int;
+  mutable faults : int;
+  mutable t0 : float;
+  mutable last_emit : float;
+  mutable interval_s : float;
+  mutable heartbeat : bool;
+  mutable jsonl : out_channel option;
+  mutable emitted : int;
+}
+
+let lock = Mutex.create ()
+
+let st =
+  {
+    total = 0;
+    finished = 0;
+    races = 0;
+    faults = 0;
+    t0 = 0.;
+    last_emit = 0.;
+    interval_s = 0.5;
+    heartbeat = true;
+    jsonl = None;
+    emitted = 0;
+  }
+
+let rate_of ~elapsed_s ~finished =
+  if elapsed_s > 0. then float_of_int finished /. elapsed_s else 0.
+
+let eta_of ~rate ~remaining =
+  if rate > 0. && remaining > 0 then float_of_int remaining /. rate else 0.
+
+(* One emission; call with the lock held. *)
+let emit ~now =
+  st.last_emit <- now;
+  st.emitted <- st.emitted + 1;
+  let elapsed_s = now -. st.t0 in
+  let rate = rate_of ~elapsed_s ~finished:st.finished in
+  let eta_s = eta_of ~rate ~remaining:(st.total - st.finished) in
+  if st.heartbeat then begin
+    let pct =
+      if st.total > 0 then 100. *. float_of_int st.finished /. float_of_int st.total
+      else 0.
+    in
+    Printf.eprintf
+      "yashme: progress %d/%d scenario(s) (%.0f%%), %.1f/s, %d race(s), %d \
+       fault(s), eta %.1fs\n\
+       %!"
+      st.finished st.total pct rate st.races st.faults eta_s
+  end;
+  match st.jsonl with
+  | None -> ()
+  | Some oc ->
+      Printf.fprintf oc
+        "{\"done\":%d,\"total\":%d,\"races\":%d,\"faults\":%d,\
+         \"rate_per_s\":%.6f,\"eta_s\":%.6f,\"elapsed_s\":%.6f}\n\
+         %!"
+        st.finished st.total st.races st.faults rate eta_s elapsed_s
+
+let start ?(interval_s = 0.5) ?(heartbeat = true) ?jsonl () =
+  Mutex.protect lock (fun () ->
+      (match st.jsonl with Some oc -> close_out oc | None -> ());
+      st.total <- 0;
+      st.finished <- 0;
+      st.races <- 0;
+      st.faults <- 0;
+      st.t0 <- Unix.gettimeofday ();
+      st.last_emit <- 0.;
+      st.interval_s <- interval_s;
+      st.heartbeat <- heartbeat;
+      st.jsonl <- Option.map open_out jsonl;
+      st.emitted <- 0);
+  Atomic.set active true
+
+let batch n =
+  if Atomic.get active then
+    Mutex.protect lock (fun () -> st.total <- st.total + n)
+
+let tick ~races ~faulted =
+  if Atomic.get active then
+    Mutex.protect lock (fun () ->
+        st.finished <- st.finished + 1;
+        st.races <- st.races + races;
+        if faulted then st.faults <- st.faults + 1;
+        let now = Unix.gettimeofday () in
+        if now -. st.last_emit >= st.interval_s then emit ~now)
+
+(* Final emission happens unconditionally, so a [--progress-out] file
+   always carries at least one (summary) line even for runs faster
+   than the throttle interval. *)
+let stop () =
+  if not (Atomic.get active) then 0
+  else begin
+    Atomic.set active false;
+    Mutex.protect lock (fun () ->
+        emit ~now:(Unix.gettimeofday ());
+        (match st.jsonl with Some oc -> close_out oc | None -> ());
+        st.jsonl <- None;
+        st.emitted)
+  end

@@ -1,0 +1,32 @@
+(** Live exploration progress: a throttled heartbeat over engine batch
+    callbacks.
+
+    The engine announces batches ({!batch}) and ticks once per finished
+    scenario ({!tick}); emissions go to stderr (human heartbeat) and/or
+    a JSONL stream of flat objects
+    ([{"done":..,"total":..,"races":..,"faults":..,"rate_per_s":..,
+    "eta_s":..,"elapsed_s":..}]) accepted by {!Trace.check_jsonl}.
+
+    Inactive by default; when inactive, {!tick} is a no-op behind a
+    single [Atomic.get] branch.  Progress is wall-clock dependent and
+    is never read back by the harness: the deterministic report path
+    is unaffected. *)
+
+(** Reset counters and begin emitting.  [interval_s] (default 0.5)
+    throttles emissions; [heartbeat] (default true) prints the stderr
+    line; [jsonl] opens a JSONL stream at the given path. *)
+val start : ?interval_s:float -> ?heartbeat:bool -> ?jsonl:string -> unit -> unit
+
+val is_active : unit -> bool
+
+(** Announce [n] more scenarios to explore (grows the [total]). *)
+val batch : int -> unit
+
+(** One scenario finished, having found [races] raw races; [faulted]
+    marks a sandboxed scenario fault. *)
+val tick : races:int -> faulted:bool -> unit
+
+(** Emit a final (unthrottled) update, close the JSONL stream and
+    deactivate.  Returns the number of emissions (0 if inactive), so a
+    [--progress-out] file always carries at least one line. *)
+val stop : unit -> int

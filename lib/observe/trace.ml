@@ -338,6 +338,10 @@ let check_jsonl s =
   in
   loop 1 lines
 
+(* An empty (or whitespace-only) file is rejected for both formats:
+   check_json would already fail on it, but check_jsonl vacuously
+   accepts zero lines, which turned truncated-at-birth trace files
+   into lint passes. *)
 let check_file path =
   let ic = open_in_bin path in
   let data =
@@ -345,4 +349,9 @@ let check_file path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  if is_jsonl path then check_jsonl data else check_json data
+  if String.trim data = "" then
+    Error
+      (Printf.sprintf "offset 0: empty trace file (%d byte(s))"
+         (String.length data))
+  else if is_jsonl path then check_jsonl data
+  else check_json data

@@ -347,6 +347,7 @@ let rec drain_everything t =
 let crash t ~strategy =
   Metrics.incr m_crashes;
   Metrics.observe h_crash_lines (List.length (Persistence.lines t.pers));
+  List.iter Observe.Coverage.line_materialized (Persistence.lines t.pers);
   let span_t0 =
     if Observe.Trace.recording () then Some (Observe.Trace.now_us ()) else None
   in

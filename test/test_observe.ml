@@ -213,6 +213,133 @@ let test_write_and_lint_roundtrip () =
       | Error msg -> Alcotest.failf "%s: %s" jsonl msg);
   quiesce ()
 
+(* Edge cases of the snapshot/diff algebra. *)
+
+let test_diff_absent_and_negative () =
+  quiesce ();
+  Metrics.enable ();
+  let before = Metrics.snapshot () in
+  (* A counter registered only after [before] counts from zero... *)
+  let c = Metrics.counter "test/born_late" in
+  Metrics.add c 5;
+  let d = Metrics.diff before (Metrics.snapshot ()) in
+  check_int "name absent from before counts as 0" 5
+    (List.assoc "test/born_late" d);
+  (* ...and a reset between the snapshots yields a negative delta,
+     which diff keeps (only exact zeros are dropped). *)
+  let before = Metrics.snapshot () in
+  Metrics.reset ();
+  let d = Metrics.diff before (Metrics.snapshot ()) in
+  check_int "post-reset delta is negative, not dropped" (-5)
+    (List.assoc "test/born_late" d);
+  check "empty diffs are empty" true (Metrics.diff [] [] = []);
+  quiesce ()
+
+let test_histogram_zero_samples () =
+  quiesce ();
+  Metrics.enable ();
+  let h = Metrics.histogram "test/empty_hist" in
+  let s = Metrics.hstats h in
+  check_int "zero-sample count" 0 s.Metrics.count;
+  check_int "zero-sample sum" 0 s.Metrics.sum;
+  check_int "zero-sample max" 0 s.Metrics.max;
+  check_int "zero-sample buckets all empty" 0
+    (Array.fold_left ( + ) 0 (Metrics.bucket_counts h));
+  (* a zero-observation histogram contributes nothing to a diff *)
+  let before = Metrics.snapshot () in
+  let d = Metrics.diff before (Metrics.snapshot ()) in
+  check "no delta entries for untouched histogram" false
+    (List.exists (fun (name, _) -> name = "test/empty_hist#count") d);
+  (* observing 0 is a sample, not a no-op *)
+  Metrics.observe h 0;
+  let s = Metrics.hstats h in
+  check_int "sample of value 0 counted" 1 s.Metrics.count;
+  check_int "bucket 0 holds value 0" 1 (Metrics.bucket_counts h).(0);
+  quiesce ()
+
+(* Regression: empty/truncated trace files must lint as malformed with
+   a positioned error, for both formats.  (check_jsonl of zero lines
+   used to be vacuously Ok.) *)
+let test_trace_lint_rejects_empty_and_truncated () =
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  List.iter
+    (fun (suffix, content) ->
+      let tmp = Filename.temp_file "yashme-lint" suffix in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let oc = open_out tmp in
+          output_string oc content;
+          close_out oc;
+          match Trace.check_file tmp with
+          | Ok () ->
+              Alcotest.failf "accepted %s file with %d byte(s)" suffix
+                (String.length content)
+          | Error msg ->
+              check ("positioned error for " ^ suffix) true
+                (starts_with "offset" msg || starts_with "line" msg)))
+    [
+      (".json", "");
+      (".jsonl", "");
+      (".json", "  \n \t ");
+      (".jsonl", "\n\n");
+      (* truncated mid-event: a crash while writing must not lint *)
+      (".json", "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\"");
+      (".jsonl", "{\"name\":\"x\",\"ph\":\"X\"}\n{\"name\":\"y\",");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Log levels                                                           *)
+
+let test_log_levels () =
+  quiesce ();
+  let saved = Observe.Log.level () in
+  Fun.protect
+    ~finally:(fun () -> Observe.Log.set_level saved)
+    (fun () ->
+      Observe.Log.set_level Observe.Log.Debug;
+      check "debug threshold" true (Observe.Log.level () = Observe.Log.Debug);
+      check "debug is not quiet" false (Observe.Log.quiet ());
+      (* --quiet compatibility aliases *)
+      Observe.Log.set_quiet true;
+      check "set_quiet true = Off" true (Observe.Log.level () = Observe.Log.Off);
+      check "off is quiet" true (Observe.Log.quiet ());
+      Observe.Log.set_quiet false;
+      check "set_quiet false restores Warn" true
+        (Observe.Log.level () = Observe.Log.Warn);
+      (* parsing *)
+      List.iter
+        (fun (s, expect) ->
+          check ("parse " ^ s) true (Observe.Log.level_of_string s = expect))
+        [
+          ("off", Some Observe.Log.Off); ("quiet", Some Observe.Log.Off);
+          ("warn", Some Observe.Log.Warn); ("warning", Some Observe.Log.Warn);
+          ("info", Some Observe.Log.Info); ("debug", Some Observe.Log.Debug);
+          ("verbose", None);
+        ];
+      check_str "to_string roundtrip" "info"
+        (Observe.Log.level_to_string Observe.Log.Info);
+      (* the trace mirror fires regardless of the stderr threshold *)
+      Observe.Log.set_level Observe.Log.Off;
+      Trace.start ();
+      Observe.Log.warn "suppressed on stderr";
+      Observe.Log.info "also mirrored";
+      Observe.Log.debug "this too";
+      Trace.stop ();
+      let logged name =
+        List.exists
+          (fun (e : Trace.event) ->
+            e.Trace.name = name && e.Trace.cat = "log")
+          (Trace.events ())
+      in
+      check "warning mirrored while Off" true (logged "warning");
+      check "info mirrored while Off" true (logged "info");
+      check "debug mirrored while Off" true (logged "debug"));
+  quiesce ()
+
 (* ------------------------------------------------------------------ *)
 (* Determinism contract                                                 *)
 
@@ -261,7 +388,13 @@ let () =
           Alcotest.test_case "histogram merge across 4 domains" `Quick
             test_histogram_merge_across_domains;
           Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "diff absent names and negatives" `Quick
+            test_diff_absent_and_negative;
+          Alcotest.test_case "zero-sample histograms" `Quick
+            test_histogram_zero_samples;
         ] );
+      ( "log",
+        [ Alcotest.test_case "levels and aliases" `Quick test_log_levels ] );
       ( "trace",
         [
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
@@ -273,6 +406,8 @@ let () =
             test_check_json_rejects_malformed;
           Alcotest.test_case "write + lint roundtrip" `Quick
             test_write_and_lint_roundtrip;
+          Alcotest.test_case "lint rejects empty/truncated files" `Quick
+            test_trace_lint_rejects_empty_and_truncated;
         ] );
       ( "determinism",
         [
