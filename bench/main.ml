@@ -280,6 +280,7 @@ let engine_throughput ~jobs ~out () =
         in
         Pm_corpus.Json.encode_obj
           [ ("bench", `S name);
+            ("variant", `S Px86.Variant.default_label);
             ("jobs", `I sn.Engine.jobs);
             ("scenarios", `I sn.Engine.scenarios);
             ("faulted", `I sn.Engine.faulted);

@@ -8,6 +8,8 @@
    yashme corpus merge|stats            manage witness corpora
    yashme profile TRACE                 hot-spot tables from a recorded trace
    yashme bench-diff BASE CUR           benchmark regression gate
+   yashme variants                      list persistency-model variants
+   yashme litmus                        litmus suite x variant divergence matrix
    yashme tables                        print the reorder/compiler tables *)
 
 open Cmdliner
@@ -50,6 +52,27 @@ let jobs =
 let seed =
   let doc = "Random seed (schedules, crash points, cache cuts)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let variant_conv =
+  let parse s =
+    match Px86.Variant.of_label s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown persistency-model variant %S (try `yashme variants')" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Px86.Variant.label v) in
+  Arg.conv (parse, print)
+
+let variant_arg =
+  let doc = "Persistency-model variant to detect under (see $(b,yashme \
+             variants) for the built-ins, e.g. $(b,strict-tso), \
+             $(b,fence-nop), $(b,epoch)).  The default, $(b,strict-tso), \
+             is the paper's Px86 model and reproduces historical reports \
+             byte-for-byte." in
+  Arg.(value & opt variant_conv Px86.Variant.strict_tso
+       & info [ "variant" ] ~doc ~docv:"VARIANT")
 
 let show_benign =
   let doc = "Also list benign (checksum-validated) findings." in
@@ -197,10 +220,13 @@ let write_coverage_file = function
       Printf.printf "coverage: %d program(s) written to %s\n" (List.length stats)
         file
 
-let attach_coverage ~coverage (p : Pm_harness.Program.t) r =
+let attach_coverage ~coverage ~variant (p : Pm_harness.Program.t) r =
   if not coverage then r
   else
-    match Observe.Coverage.find p.Pm_harness.Program.name with
+    match
+      Observe.Coverage.find ~variant:(Px86.Variant.label variant)
+        p.Pm_harness.Program.name
+    with
     | Some c -> Pm_harness.Report.with_coverage r c
     | None -> r
 
@@ -221,9 +247,9 @@ let print_metrics_summary ~title metrics =
   else List.iter (fun (name, v) -> Printf.printf "  %-42s %d\n" name v) nonzero
 
 let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false)
-    ?max_ops ?max_wall_s mode seed =
+    ?(variant = Px86.Variant.strict_tso) ?max_ops ?max_wall_s mode seed =
   { Pm_harness.Runner.default_options with
-    mode; seed; eadr; coherence = not no_coherence;
+    mode; seed; eadr; variant; coherence = not no_coherence;
     check_candidates = not no_candidates; max_ops; max_wall_s }
 
 let outcome_program run_mode opts ~jobs ~fail_fast execs (p : Pm_harness.Program.t) =
@@ -295,13 +321,19 @@ let list_cmd =
             (fun (p : Pm_harness.Program.t) ->
               print_endline p.Pm_harness.Program.name)
             Pm_benchmarks.Registry.all;
-          (* Demos are findable by name but never part of check-all;
-             mark them rather than silently omitting them. *)
+          (* Demos and litmus programs are findable by name but never
+             part of check-all; mark them rather than silently omitting
+             them. *)
           List.iter
             (fun (p : Pm_harness.Program.t) ->
               Printf.printf "%-24s (demo: fault injection, excluded from check-all)\n"
                 p.Pm_harness.Program.name)
-            Pm_benchmarks.Registry.demos)
+            Pm_benchmarks.Registry.demos;
+          List.iter
+            (fun (p : Pm_harness.Program.t) ->
+              Printf.printf "%-24s (litmus: variant validation, excluded from check-all)\n"
+                p.Pm_harness.Program.name)
+            Pm_benchmarks.Registry.litmus)
       $ const ())
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmark programs") term
@@ -311,9 +343,10 @@ let check_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
            ~doc:"Benchmark name (see $(b,yashme list)).")
   in
-  let run bench run_mode dmode execs jobs seed show_benign eadr no_coherence
-      no_candidates metrics trace_out quiet max_ops timeout fail_fast corpus_out
-      log_level coverage coverage_out progress progress_out =
+  let run bench run_mode dmode execs jobs seed variant show_benign eadr
+      no_coherence no_candidates metrics trace_out quiet max_ops timeout
+      fail_fast corpus_out log_level coverage coverage_out progress
+      progress_out =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
@@ -325,7 +358,7 @@ let check_cmd =
         let before = if metrics then Observe.Metrics.snapshot () else [] in
         let o =
           outcome_program run_mode
-            (options ~eadr ~no_coherence ~no_candidates ?max_ops
+            (options ~eadr ~no_coherence ~no_candidates ~variant ?max_ops
                ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
         in
@@ -337,7 +370,7 @@ let check_cmd =
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
-        let r = attach_coverage ~coverage p r in
+        let r = attach_coverage ~coverage ~variant p r in
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
         if coverage then print_endline (Pm_harness.Report.coverage_to_string r);
@@ -349,10 +382,11 @@ let check_cmd =
   in
   let term =
     Term.(
-      const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
-      $ eadr_flag $ no_coherence $ no_candidates $ metrics_flag $ trace_out
-      $ quiet_flag $ max_ops_arg $ timeout_arg $ fail_fast_flag $ corpus_out
-      $ log_level_arg $ coverage_flag $ coverage_out $ progress_flag $ progress_out)
+      const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed
+      $ variant_arg $ show_benign $ eadr_flag $ no_coherence $ no_candidates
+      $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
+      $ fail_fast_flag $ corpus_out $ log_level_arg $ coverage_flag
+      $ coverage_out $ progress_flag $ progress_out)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -365,7 +399,7 @@ let witness_cmd =
     let doc = "Crash before the n-th flush/fence; -1 crashes at program end." in
     Arg.(value & opt int (-1) & info [ "at" ] ~doc)
   in
-  let run bench n seed =
+  let run bench n seed variant =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
@@ -375,23 +409,26 @@ let witness_cmd =
           if n < 0 then Pm_runtime.Executor.Crash_at_end
           else Pm_runtime.Executor.Crash_before_flush n
         in
-        let opts = { Pm_harness.Runner.default_options with seed } in
+        let opts = { Pm_harness.Runner.default_options with seed; variant } in
         let detector, trace = Pm_harness.Runner.run_once_traced ~options:opts ~plan p in
         (match Yashme.Detector.races detector with
         | [] -> print_endline "no persistency race in this execution"
         | race :: _ ->
-            print_endline (Pm_harness.Witness.explain ~trace ~detector ~race))
+            print_endline
+              (Pm_harness.Witness.explain
+                 ~variant:(Px86.Variant.label variant)
+                 ~trace ~detector ~race ()))
   in
-  let term = Term.(const run $ bench $ flush_point $ seed) in
+  let term = Term.(const run $ bench $ flush_point $ seed $ variant_arg) in
   Cmd.v
     (Cmd.info "witness"
        ~doc:"Run one crash scenario and print a race witness (pre-crash prefix E+)")
     term
 
 let check_all_cmd =
-  let run run_mode dmode execs jobs seed show_benign metrics trace_out quiet
-      max_ops timeout fail_fast corpus_out log_level coverage coverage_out
-      progress progress_out =
+  let run run_mode dmode execs jobs seed variant show_benign metrics trace_out
+      quiet max_ops timeout fail_fast corpus_out log_level coverage
+      coverage_out progress progress_out =
     let coverage = coverage || coverage_out <> None in
     observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
       ~trace_out ~quiet ();
@@ -403,7 +440,7 @@ let check_all_cmd =
         let before = if metrics then Observe.Metrics.snapshot () else [] in
         let o =
           outcome_program run_mode
-            (options ?max_ops ?max_wall_s:timeout dmode seed)
+            (options ~variant ?max_ops ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
         in
         let r = o.Pm_harness.Runner.o_report in
@@ -413,7 +450,7 @@ let check_all_cmd =
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
-        let r = attach_coverage ~coverage p r in
+        let r = attach_coverage ~coverage ~variant p r in
         if corpus_out <> None then
           extractions :=
             Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
@@ -435,10 +472,10 @@ let check_all_cmd =
   in
   let term =
     Term.(
-      const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ show_benign
-      $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
-      $ fail_fast_flag $ corpus_out $ log_level_arg $ coverage_flag
-      $ coverage_out $ progress_flag $ progress_out)
+      const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ variant_arg
+      $ show_benign $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg
+      $ timeout_arg $ fail_fast_flag $ corpus_out $ log_level_arg
+      $ coverage_flag $ coverage_out $ progress_flag $ progress_out)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
 
@@ -706,6 +743,63 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc:"Manage witness corpora (merge, stats)")
     [ merge; stats ]
 
+let variants_cmd =
+  let run () =
+    List.iter
+      (fun (name, v, desc) ->
+        Printf.printf "%-16s%s %s\n" name
+          (if Px86.Variant.is_default v then " (default)" else "")
+          desc;
+        Printf.printf "%-16s  %s\n" "" (Px86.Variant.field_form v))
+      Px86.Variant.builtins
+  in
+  Cmd.v
+    (Cmd.info "variants"
+       ~doc:"List the built-in persistency-model variants (for --variant)")
+    Term.(const run $ const ())
+
+let litmus_cmd =
+  let expect =
+    let doc = "Golden matrix file to compare against (byte comparison after \
+               trailing-newline normalization); exits non-zero on mismatch.  \
+               CI pins $(b,LITMUS_matrix.txt) this way." in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~doc ~docv:"FILE")
+  in
+  let run jobs expect quiet =
+    Observe.Log.set_quiet quiet;
+    let m = Pm_benchmarks.Litmus.run_matrix ~jobs () in
+    let rendered = Pm_benchmarks.Litmus.render m in
+    print_endline rendered;
+    Printf.printf
+      "\n%d litmus case(s) x %d variant(s); '*' marks divergence from strict-tso\n"
+      (List.length m.Pm_benchmarks.Litmus.m_rows)
+      (List.length m.Pm_benchmarks.Litmus.m_variants);
+    match expect with
+    | None -> ()
+    | Some file -> (
+        match In_channel.with_open_bin file In_channel.input_all with
+        | exception Sys_error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2
+        | golden ->
+            let strip s = String.trim s in
+            if strip golden = strip rendered then
+              Printf.printf "matrix matches %s\n" file
+            else begin
+              Printf.eprintf
+                "litmus matrix DIVERGES from %s — the persistency-model \
+                 semantics changed.\nRegenerate with `yashme litmus > %s` if \
+                 the change is intended.\n"
+                file file;
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Run the litmus suite across every built-in variant and print the \
+             divergence matrix (race findings per litmus program x variant)")
+    Term.(const run $ jobs $ expect $ quiet_flag)
+
 let tables_cmd =
   let run () =
     print_endline "Table 1: Px86 reordering constraints";
@@ -723,7 +817,8 @@ let tables_cmd =
 let main =
   let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
-    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd; trace_lint_cmd;
-      profile_cmd; bench_diff_cmd; replay_cmd; minimize_cmd; corpus_cmd ]
+    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd;
+      variants_cmd; litmus_cmd; trace_lint_cmd; profile_cmd; bench_diff_cmd;
+      replay_cmd; minimize_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -109,6 +109,21 @@ cmp "$cov1" "$cov4" || {
 }
 dune exec bin/yashme_cli.exe -- trace-lint "$cov1"
 
+echo "== litmus-matrix smoke (variants x litmus vs committed golden)"
+# The matrix pins every built-in persistency-model variant's divergence
+# from strict-tso; any semantic drift fails against the committed table.
+dune exec bin/yashme_cli.exe -- litmus --jobs 2 --quiet \
+  --expect LITMUS_matrix.txt >/dev/null
+# strict-tso is the default: an explicit --variant must not change a
+# single report byte.
+va=$(dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --quiet)
+vb=$(dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --quiet \
+  --variant strict-tso)
+[ "$va" = "$vb" ] || {
+  echo "ci: --variant strict-tso changed the CCEH report" >&2
+  exit 1
+}
+
 echo "== profile smoke (trace -> hot-spot tables)"
 dune exec bin/yashme_cli.exe -- profile "$trace" --top 5 >/dev/null
 

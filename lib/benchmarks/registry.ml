@@ -26,16 +26,23 @@ let all = indexes @ frameworks
    a budget). *)
 let demos = Demo_faults.all
 
+(* Litmus programs ({!Litmus}): findable by name for check/witness, but
+   never part of [all] — they validate the model variants, not the
+   paper's suite, and check-all must stay comparable to Table 5. *)
+let litmus = Litmus.programs
+
 let find name =
   let target = String.lowercase_ascii name in
   match
     List.find_opt
       (fun (p : Pm_harness.Program.t) ->
         String.lowercase_ascii p.Pm_harness.Program.name = target)
-      (all @ demos)
+      (all @ demos @ litmus)
   with
   | Some p -> p
   | None -> raise Not_found
 
 let names () =
-  List.map (fun (p : Pm_harness.Program.t) -> p.Pm_harness.Program.name) (all @ demos)
+  List.map
+    (fun (p : Pm_harness.Program.t) -> p.Pm_harness.Program.name)
+    (all @ demos @ litmus)

@@ -15,9 +15,14 @@ val frameworks : Pm_harness.Program.t list
     part of {!all}. *)
 val demos : Pm_harness.Program.t list
 
-(** Find by (case-insensitive) name, demos included; raises
+(** Litmus programs ({!Litmus}); findable by name but never part of
+    {!all} (excluded from [check-all]). *)
+val litmus : Pm_harness.Program.t list
+
+(** Find by (case-insensitive) name, demos and litmus included; raises
     [Not_found]. *)
 val find : string -> Pm_harness.Program.t
 
-(** Program names, demos included (what [yashme list] prints). *)
+(** Program names, demos and litmus included (what [yashme list]
+    prints). *)
 val names : unit -> string list

@@ -4,7 +4,10 @@ module Engine = Pm_harness.Engine
 module Runner = Pm_harness.Runner
 module Finding = Pm_harness.Finding
 
-let version = 1
+(* v2 added the "variant" options field; v1 lines (no such field) still
+   decode, defaulting to the strict-tso variant. *)
+let version = 2
+let oldest_readable = 1
 
 type kind = Race | Recovery_failure
 
@@ -59,11 +62,11 @@ let decode line =
   in
   let* () =
     match List.assoc_opt "v" fields with
-    | Some (`I v) when v = version -> Ok ()
+    | Some (`I v) when v >= oldest_readable && v <= version -> Ok ()
     | Some (`I v) ->
         Error
-          (Printf.sprintf "witness: format version %d (this build reads %d)" v
-             version)
+          (Printf.sprintf "witness: format version %d (this build reads %d-%d)"
+             v oldest_readable version)
     | _ -> Error "witness: missing version field \"v\""
   in
   let* kind =

@@ -25,8 +25,13 @@ module Scenario = Pm_harness.Scenario
 module Engine = Pm_harness.Engine
 module Runner = Pm_harness.Runner
 
-(** Format version written to (and required of) every line. *)
+(** Format version written to every line.  Decoding accepts
+    [oldest_readable]..[version]: v1 predates the persistency-model
+    variant field, and such witnesses load with the strict-tso
+    default. *)
 val version : int
+
+val oldest_readable : int
 
 type kind =
   | Race  (** key = {!Yashme.Race.dedup_key} of the racing store *)

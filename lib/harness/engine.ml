@@ -19,8 +19,9 @@ let run_setup (opts : Scenario.options) (p : Program.t) =
   | Some setup ->
       let r =
         Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.Scenario.sb_policy
-          ~seed:opts.Scenario.seed ?max_ops:opts.Scenario.max_ops
-          ?max_wall_s:opts.Scenario.max_wall_s ~exec_id:setup_exec setup
+          ~variant:opts.Scenario.variant ~seed:opts.Scenario.seed
+          ?max_ops:opts.Scenario.max_ops ?max_wall_s:opts.Scenario.max_wall_s
+          ~exec_id:setup_exec setup
       in
       Some r.Executor.state
 
@@ -48,8 +49,8 @@ let materialize_setup ~(options : Scenario.options) (p : Program.t) =
 let run_phase ?detector ?observer ?inherited ~(options : Scenario.options) ~plan
     ~seed ~exec_id body =
   Executor.run ?detector ?observer ?inherited ~plan
-    ~sb_policy:options.Scenario.sb_policy ~cut:options.Scenario.cut
-    ~sched:options.Scenario.sched ~seed
+    ~sb_policy:options.Scenario.sb_policy ~variant:options.Scenario.variant
+    ~cut:options.Scenario.cut ~sched:options.Scenario.sched ~seed
     ~check_candidates:options.Scenario.check_candidates
     ?max_ops:options.Scenario.max_ops ?max_wall_s:options.Scenario.max_wall_s
     ~exec_id body
@@ -153,7 +154,7 @@ let run_scenario (s : Scenario.t) =
             note
               (count
                  (Executor.run ~plan:Executor.Run_to_end ~sb_policy:opts.sb_policy
-                    ~seed:opts.seed ?max_ops:opts.max_ops
+                    ~variant:opts.variant ~seed:opts.seed ?max_ops:opts.max_ops
                     ?max_wall_s:opts.max_wall_s ~exec_id:setup_exec fn))
           in
           Some r.Executor.state
@@ -210,7 +211,11 @@ let run_scenario (s : Scenario.t) =
       wall_s = now () -. t0;
     }
   in
-  match Observe.Coverage.with_program s.label body with
+  match
+    Observe.Coverage.with_program
+      ~variant:(Px86.Variant.label opts.variant)
+      s.label body
+  with
   | c -> Completed c
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in

@@ -13,6 +13,10 @@ type recovery_failure = {
 
 type t = {
   program : string;
+  variant : string;
+      (* persistency-model variant label; rendered (as a "[variant ...]"
+         line) only when it is not the default, so historical reports
+         stay byte-identical *)
   executions : int;
   raw_races : int;
   findings : finding list;
@@ -32,7 +36,8 @@ type t = {
 
 let m_duplicates = Observe.Metrics.counter "report/duplicate_races"
 
-let dedup ~program ~executions ?(faults = []) ?(diverged = 0) races =
+let dedup ~program ?(variant = Px86.Variant.default_label) ~executions
+    ?(faults = []) ?(diverged = 0) races =
   let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (r : Yashme.Race.t) ->
@@ -76,6 +81,7 @@ let dedup ~program ~executions ?(faults = []) ?(diverged = 0) races =
   in
   {
     program;
+    variant;
     executions;
     raw_races = List.length races;
     findings;
@@ -114,6 +120,8 @@ let pp ppf t =
     t.raw_races
     (List.length (benign t))
     t.executions;
+  if t.variant <> Px86.Variant.default_label then
+    Format.fprintf ppf "@,  [variant %s]" t.variant;
   List.iter
     (fun f ->
       Format.fprintf ppf "@,  %s %s (%d report%s)"

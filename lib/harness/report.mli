@@ -31,6 +31,11 @@ type recovery_failure = {
 
 type t = {
   program : string;
+  variant : string;
+      (** persistency-model variant label ({!Px86.Variant.label});
+          rendered as a ["[variant ...]"] line only when it is not
+          {!Px86.Variant.default_label}, keeping default-variant
+          reports byte-identical to historical output *)
   executions : int;  (** pre/post execution pairs explored *)
   raw_races : int;
   findings : finding list;  (** sorted by label *)
@@ -57,6 +62,7 @@ type t = {
     of the global {!Observe.Metrics} registry. *)
 val dedup :
   program:string ->
+  ?variant:string ->
   executions:int ->
   ?faults:Finding.fault list ->
   ?diverged:int ->

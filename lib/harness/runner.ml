@@ -8,6 +8,7 @@ type options = Scenario.options = {
   check_candidates : bool;
   sched : Executor.sched_policy;
   sb_policy : Px86.Machine.sb_policy;
+  variant : Px86.Variant.t;
   cut : Px86.Machine.cut_strategy;
   seed : int;
   max_ops : int option;
@@ -133,8 +134,10 @@ let empty_stats ~jobs =
 (* Build the per-program report of an engine run: deduplicated races,
    recovery-failure witnesses and contained-fault counts, all derived
    from the submission-ordered result list. *)
-let report_of_run ~program ~executions run =
-  Report.dedup ~program ~executions ~faults:(Engine.faults run)
+let report_of_run ~program ~(options : options) ~executions run =
+  Report.dedup ~program
+    ~variant:(Px86.Variant.label options.variant)
+    ~executions ~faults:(Engine.faults run)
     ~diverged:(Engine.diverged_count run)
     (Engine.races run)
 
@@ -149,10 +152,12 @@ type outcome = {
   o_pairs : (Scenario.t * Engine.scenario_result * evidence) list;
 }
 
-let probe_outcome ~program ~jobs fault =
+let probe_outcome ~program ~(options : options) ~jobs fault =
   {
     o_report =
-      Report.dedup ~program ~executions:0 ~faults:[ fault ] [];
+      Report.dedup ~program
+        ~variant:(Px86.Variant.label options.variant)
+        ~executions:0 ~faults:[ fault ] [];
     o_stats = empty_stats ~jobs;
     o_pairs = [];
   }
@@ -169,7 +174,7 @@ let model_check_outcome ?(options = default_options) ?(jobs = 1)
         let setup = Engine.materialize_setup ~options p in
         (setup, count_points ~options ~setup p))
   with
-  | Error fault -> probe_outcome ~program:p.Program.name ~jobs fault
+  | Error fault -> probe_outcome ~program:p.Program.name ~options ~jobs fault
   | Ok (setup, points) ->
       let scenarios =
         List.map
@@ -179,7 +184,7 @@ let model_check_outcome ?(options = default_options) ?(jobs = 1)
       let run = Engine.run ~jobs ~fail_fast scenarios in
       {
         o_report =
-          report_of_run ~program:p.Program.name
+          report_of_run ~program:p.Program.name ~options
             ~executions:(List.length scenarios) run;
         o_stats = run.Engine.stats;
         o_pairs = full_pairs scenarios run;
@@ -204,7 +209,9 @@ let model_check_seq ?(options = default_options) (p : Program.t) =
         Yashme.Detector.races detector)
       plans
   in
-  Report.dedup ~program:p.Program.name ~executions:(List.length plans) races
+  Report.dedup ~program:p.Program.name
+    ~variant:(Px86.Variant.label options.variant)
+    ~executions:(List.length plans) races
 
 (* ------------------------------------------------------------------ *)
 (* Recovery model checking: two-crash failure scenarios (section 6).    *)
@@ -224,7 +231,7 @@ let model_check_recovery_outcome ?(options = default_options) ?(jobs = 1)
         let setup = Engine.materialize_setup ~options p in
         (setup, count_points ~options ~setup p))
   with
-  | Error fault -> probe_outcome ~program ~jobs fault
+  | Error fault -> probe_outcome ~program ~options ~jobs fault
   | Ok (setup, points) ->
       let pre_plans = model_check_plans points in
       let probe_scenarios =
@@ -280,7 +287,9 @@ let model_check_recovery_outcome ?(options = default_options) ?(jobs = 1)
          submission order. *)
       {
         o_report =
-          Report.dedup ~program ~executions
+          Report.dedup ~program
+            ~variant:(Px86.Variant.label options.variant)
+            ~executions
             ~faults:(Engine.faults probes @ Engine.faults run)
             ~diverged:(Engine.diverged_count probes + Engine.diverged_count run)
             (Engine.races ~keep run);
@@ -346,8 +355,9 @@ let model_check_recovery_seq ?(options = default_options) (p : Program.t) =
           (List.init post_points (fun n -> n))
       end)
     pre_plans;
-  Report.dedup ~program:(p.Program.name ^ "+recovery") ~executions:!executions
-    !races
+  Report.dedup ~program:(p.Program.name ^ "+recovery")
+    ~variant:(Px86.Variant.label options.variant)
+    ~executions:!executions !races
 
 (* ------------------------------------------------------------------ *)
 (* Random mode                                                          *)
@@ -383,11 +393,11 @@ let random_mode_outcome ?(options = default_options) ?(jobs = 1)
   let options = { options with seed = program_seed p options.seed } in
   match guarded_probe ~options p (fun () -> random_scenarios ~options ~execs p)
   with
-  | Error fault -> probe_outcome ~program:p.Program.name ~jobs fault
+  | Error fault -> probe_outcome ~program:p.Program.name ~options ~jobs fault
   | Ok scenarios ->
       let run = Engine.run ~jobs ~fail_fast scenarios in
       {
-        o_report = report_of_run ~program:p.Program.name ~executions:execs run;
+        o_report = report_of_run ~program:p.Program.name ~options ~executions:execs run;
         o_stats = run.Engine.stats;
         o_pairs = full_pairs scenarios run;
       }
@@ -413,7 +423,9 @@ let random_mode_seq ?(options = default_options) ~execs (p : Program.t) =
         Yashme.Detector.races detector)
       (List.init execs (fun i -> i))
   in
-  Report.dedup ~program:p.Program.name ~executions:execs races
+  Report.dedup ~program:p.Program.name
+    ~variant:(Px86.Variant.label options.variant)
+    ~executions:execs races
 
 let single_random ?(options = default_options) (p : Program.t) =
   random_mode ~options ~execs:1 p

@@ -36,6 +36,8 @@ type options = Scenario.options = {
   check_candidates : bool;  (** check all candidate stores; ablation *)
   sched : Pm_runtime.Executor.sched_policy;
   sb_policy : Px86.Machine.sb_policy;
+  variant : Px86.Variant.t;
+      (** persistency-model variant (default {!Px86.Variant.strict_tso}) *)
   cut : Px86.Machine.cut_strategy;
   seed : int;
   max_ops : int option;

@@ -7,6 +7,7 @@ type options = {
   check_candidates : bool;
   sched : Executor.sched_policy;
   sb_policy : Px86.Machine.sb_policy;
+  variant : Px86.Variant.t;
   cut : Px86.Machine.cut_strategy;
   seed : int;
   max_ops : int option;
@@ -21,6 +22,7 @@ let default_options =
     check_candidates = true;
     sched = Executor.Round_robin;
     sb_policy = Px86.Machine.Eager;
+    variant = Px86.Variant.strict_tso;
     cut = Px86.Machine.Cut_all;
     seed = 42;
     max_ops = None;
@@ -51,6 +53,7 @@ let options_fields o : (string * field) list =
     ("check_candidates", `B o.check_candidates);
     ("sched", `S (Executor.sched_label o.sched));
     ("sb_policy", `S (Px86.Machine.sb_policy_label o.sb_policy));
+    ("variant", `S (Px86.Variant.label o.variant));
     ("cut", `S (Px86.Machine.cut_label o.cut));
     ("seed", `I o.seed);
     ("max_ops", match o.max_ops with Some n -> `I n | None -> `Null);
@@ -89,6 +92,16 @@ let options_of_fields (fields : (string * field) list) =
   let* sb_policy =
     parsed "sb_policy" Px86.Machine.sb_policy_of_label "store-buffer policy"
   in
+  let* variant =
+    (* Absent in pre-variant (v1) witnesses: default to strict-tso. *)
+    match find "variant" with
+    | None | Some `Null -> Ok Px86.Variant.strict_tso
+    | Some (`S s) -> (
+        match Px86.Variant.of_label s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "options: unknown variant %S" s))
+    | Some _ -> Error "options: non-string \"variant\""
+  in
   let* cut =
     parsed "cut" (Px86.Machine.cut_of_label ~seed) "cut strategy"
   in
@@ -113,6 +126,7 @@ let options_of_fields (fields : (string * field) list) =
       check_candidates;
       sched;
       sb_policy;
+      variant;
       cut;
       seed;
       max_ops;

@@ -1,6 +1,12 @@
-let explain ~trace ~detector ~race:(r : Yashme.Race.t) =
+let explain ?(variant = Px86.Variant.default_label) ~trace ~detector
+    ~race:(r : Yashme.Race.t) () =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Yashme.Race.to_string r);
+  (* Non-default variants are part of the witness identity — without
+     the line, a reader would replay the race under the wrong model.
+     The default renders nothing, keeping historical output. *)
+  if variant <> Px86.Variant.default_label then
+    Buffer.add_string buf (Printf.sprintf "\n  [variant %s]" variant);
   Buffer.add_string buf "\n  witness (E+ combined with E'):\n";
   (match Yashme.Detector.record detector ~id:r.Yashme.Race.store_exec with
   | None -> Buffer.add_string buf "    (pre-crash execution not recorded)\n"

@@ -3,8 +3,16 @@
     execution E'" (section 5.1).  This module renders that witness from
     a recorded {!Px86.Trace.t} of the racing execution. *)
 
-(** [explain ~trace ~detector race] renders the racing store, the
+(** [explain ~trace ~detector ~race ()] renders the racing store, the
     smallest consistent pre-crash prefix observed so far (from the
-    execution record's [CVpre]), and the events inside it. *)
+    execution record's [CVpre]), and the events inside it.  [variant]
+    (a {!Px86.Variant.label}) adds a ["[variant ...]"] line when the
+    race was found under a non-default persistency model; the default
+    renders byte-identically to historical output. *)
 val explain :
-  trace:Px86.Trace.t -> detector:Yashme.Detector.t -> race:Yashme.Race.t -> string
+  ?variant:string ->
+  trace:Px86.Trace.t ->
+  detector:Yashme.Detector.t ->
+  race:Yashme.Race.t ->
+  unit ->
+  string

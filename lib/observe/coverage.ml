@@ -24,12 +24,18 @@ let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
 
-(* Ambient program of the calling domain.  Hooks fired outside any
-   scenario (setup memoization, flush-point probes) have no ambient
-   program and are deliberately dropped: those runs happen once on the
-   launching domain no matter the job count, and attributing them
-   would double-count work the scenarios repeat. *)
-let ambient : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+(* Persistency-model variant label used when the engine supplies none.
+   Kept as an opaque string convention (lib/observe must not depend on
+   px86); it matches [Px86.Variant.default_label]. *)
+let default_variant = "strict-tso"
+
+(* Ambient (program, variant) of the calling domain.  Hooks fired
+   outside any scenario (setup memoization, flush-point probes) have no
+   ambient program and are deliberately dropped: those runs happen once
+   on the launching domain no matter the job count, and attributing
+   them would double-count work the scenarios repeat. *)
+let ambient : (string * string) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 (* Per-shard accumulator of one program.  Mutated only under the
    owning shard's lock; sets are unit-valued hashtables. *)
@@ -43,7 +49,9 @@ type acc = {
   a_lines : (int, unit) Hashtbl.t;
 }
 
-type shard = { lock : Mutex.t; progs : (string, acc) Hashtbl.t }
+(* Keyed by (program, variant label): running the same program under
+   several model variants accumulates separate rows. *)
+type shard = { lock : Mutex.t; progs : (string * string, acc) Hashtbl.t }
 
 let store =
   Array.init shards (fun _ -> { lock = Mutex.create (); progs = Hashtbl.create 8 })
@@ -53,8 +61,8 @@ let reset () =
     (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.reset s.progs))
     store
 
-let acc_of s program =
-  match Hashtbl.find_opt s.progs program with
+let acc_of s key =
+  match Hashtbl.find_opt s.progs key with
   | Some a -> a
   | None ->
       let a =
@@ -68,7 +76,7 @@ let acc_of s program =
           a_lines = Hashtbl.create 8;
         }
       in
-      Hashtbl.add s.progs program a;
+      Hashtbl.add s.progs key a;
       a
 
 (* Run [f] on the calling domain's accumulator for the ambient
@@ -78,13 +86,13 @@ let touch f =
   if Atomic.get enabled then
     match Domain.DLS.get ambient with
     | None -> ()
-    | Some program ->
+    | Some key ->
         let s = store.((Domain.self () :> int) land (shards - 1)) in
-        Mutex.protect s.lock (fun () -> f (acc_of s program))
+        Mutex.protect s.lock (fun () -> f (acc_of s key))
 
-let with_program program f =
+let with_program ?(variant = default_variant) program f =
   let saved = Domain.DLS.get ambient in
-  Domain.DLS.set ambient (Some program);
+  Domain.DLS.set ambient (Some (program, variant));
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
 
 let mark tbl k = if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k ()
@@ -107,6 +115,7 @@ let line_materialized line = touch (fun a -> mark a.a_lines line)
 
 type stats = {
   program : string;
+  variant : string;
   scenarios : int;
   plan_indices : int list;
   crash_points : int list;
@@ -121,7 +130,7 @@ let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
 (* Merge one program's shard accumulators: counters sum, sets union —
    both commute, so the result is independent of which domain did
    which scenario. *)
-let merge program accs =
+let merge (program, variant) accs =
   let scenarios = ref 0
   and expansions = ref 0
   and coh = ref 0
@@ -141,6 +150,7 @@ let merge program accs =
     accs;
   {
     program;
+    variant;
     scenarios = !scenarios;
     plan_indices = List.sort_uniq compare !plans;
     crash_points = List.sort_uniq compare !crashes;
@@ -151,20 +161,23 @@ let merge program accs =
   }
 
 let snapshot () =
-  let by_prog : (string, acc list) Hashtbl.t = Hashtbl.create 16 in
+  let by_key : (string * string, acc list) Hashtbl.t = Hashtbl.create 16 in
   Array.iter
     (fun s ->
       Mutex.protect s.lock (fun () ->
           Hashtbl.iter
-            (fun program a ->
-              let prev = Option.value ~default:[] (Hashtbl.find_opt by_prog program) in
-              Hashtbl.replace by_prog program (a :: prev))
+            (fun key a ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt by_key key) in
+              Hashtbl.replace by_key key (a :: prev))
             s.progs))
     store;
-  Hashtbl.fold (fun program accs out -> merge program accs :: out) by_prog []
-  |> List.sort (fun a b -> compare a.program b.program)
+  Hashtbl.fold (fun key accs out -> merge key accs :: out) by_key []
+  |> List.sort (fun a b -> compare (a.program, a.variant) (b.program, b.variant))
 
-let find program = List.find_opt (fun s -> s.program = program) (snapshot ())
+let find ?(variant = default_variant) program =
+  List.find_opt
+    (fun s -> s.program = program && s.variant = variant)
+    (snapshot ())
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                            *)
@@ -201,6 +214,7 @@ type field = [ `S of string | `I of int | `B of bool | `F of float | `Null ]
 let fields s : (string * field) list =
   [
     ("program", `S s.program);
+    ("variant", `S s.variant);
     ("scenarios", `I s.scenarios);
     ("plan_indices", `S (indices_label s.plan_indices));
     ("plan_index_count", `I (List.length s.plan_indices));
@@ -214,6 +228,10 @@ let fields s : (string * field) list =
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>%s coverage:" s.program;
+  (* The variant line appears only off the default, keeping historical
+     coverage blocks byte-identical. *)
+  if s.variant <> default_variant then
+    Format.fprintf ppf "@,  variant                  %s" s.variant;
   Format.fprintf ppf "@,  scenarios run            %d" s.scenarios;
   Format.fprintf ppf "@,  crash-plan indices       %d exercised (%s)"
     (List.length s.plan_indices)

@@ -25,10 +25,17 @@ val is_enabled : unit -> bool
 (** Drop all recorded coverage (the shards are kept). *)
 val reset : unit -> unit
 
+(** The variant label assumed when none is supplied; matches
+    [Px86.Variant.default_label] by convention (this module stays free
+    of px86 types). *)
+val default_variant : string
+
 (** [with_program p f] runs [f] with [p] as the calling domain's
     ambient program, restoring the previous ambient on exit (also on
-    exceptions). *)
-val with_program : string -> (unit -> 'a) -> 'a
+    exceptions).  [variant] attributes the work to a persistency-model
+    variant (default {!default_variant}); coverage accumulates per
+    (program, variant) pair. *)
+val with_program : ?variant:string -> string -> (unit -> 'a) -> 'a
 
 (** {2 Accounting hooks} — no-ops when disabled or outside
     {!with_program}. *)
@@ -55,6 +62,7 @@ val line_materialized : int -> unit
 
 type stats = {
   program : string;
+  variant : string;  (** persistency-model variant label *)
   scenarios : int;
   plan_indices : int list;  (** sorted; [-1] = crash-at-end *)
   crash_points : int list;  (** sorted; indices whose crash fired *)
@@ -64,10 +72,11 @@ type stats = {
   lines_materialized : int;  (** distinct cache lines *)
 }
 
-(** Merged per-program coverage, sorted by program name. *)
+(** Merged per-(program, variant) coverage, sorted by program then
+    variant label. *)
 val snapshot : unit -> stats list
 
-val find : string -> stats option
+val find : ?variant:string -> string -> stats option
 
 (** Compact range rendering of a sorted index set (e.g. ["0-9,12,end"];
     [-1] renders as ["end"], the empty set as ["-"]). *)

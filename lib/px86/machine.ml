@@ -33,6 +33,7 @@ let sb_policy_of_label s =
 
 type config = {
   sb_policy : sb_policy;
+  variant : Variant.t;
   rng : Rng.t;
   observer : Observer.t;
 }
@@ -126,14 +127,43 @@ let drain_nt t th (fence : Event.fence) =
     (List.rev th.pending_nt);
   th.pending_nt <- []
 
-let drain_flush_buffer t th (fence : Event.fence) =
+(* Epoch persistency: a fence acts as a persist barrier for the whole
+   domain — every store committed before it is persist-ordered before
+   anything after it.  We model the barrier as a synthetic flush of
+   every touched line at the fence's position in commit order, reported
+   through [on_flush_applied] so the detector learns it like any other
+   fenced flush.  The flush clock is the join of all thread clocks: the
+   barrier covers commits by every thread, not just the fencing one. *)
+let epoch_barrier t (fence : Event.fence) =
+  let cv =
+    Hashtbl.fold (fun _ th acc -> Clockvec.join acc th.cv) t.threads Clockvec.empty
+  in
   List.iter
-    (fun (f : Event.flush) ->
-      Metrics.incr m_fb_applies;
-      Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr) ~seq:f.Event.fseq;
+    (fun line ->
+      Persistence.flush_line t.pers ~line ~seq:t.seq;
+      let f =
+        { Event.fseq = t.seq; ftid = fence.Event.ktid;
+          flclk = fence.Event.klclk; fcv = cv;
+          faddr = line * Addr.line_size; kind = Event.Clwb }
+      in
       t.cfg.observer.Observer.on_flush_applied f ~fence)
-    (Flush_buffer.drain th.fb);
-  drain_nt t th fence
+    (List.sort compare (Persistence.lines t.pers))
+
+(* [forced] drains regardless of the variant's fence semantics: clean
+   shutdown and locked RMWs must empty the buffers even under
+   [Fence_nop], where ordinary fences persist nothing. *)
+let drain_flush_buffer ?(forced = false) t th (fence : Event.fence) =
+  if forced || t.cfg.variant.Variant.fence = Variant.Fence_full then begin
+    List.iter
+      (fun (f : Event.flush) ->
+        Metrics.incr m_fb_applies;
+        Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr) ~seq:f.Event.fseq;
+        t.cfg.observer.Observer.on_flush_applied f ~fence)
+      (Flush_buffer.drain th.fb);
+    drain_nt t th fence;
+    if t.cfg.variant.Variant.persist_order = Variant.Epoch_fenced then
+      epoch_barrier t fence
+  end
 
 let apply_entry t th (entry : Store_buffer.entry) =
   Metrics.incr m_sb_evictions;
@@ -143,10 +173,21 @@ let apply_entry t th (entry : Store_buffer.entry) =
       f.Event.fseq <- next_seq t;
       Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr) ~seq:f.Event.fseq;
       t.cfg.observer.Observer.on_clflush_commit f
-  | Store_buffer.Flush ({ kind = Event.Clwb; _ } as f) ->
+  | Store_buffer.Flush ({ kind = Event.Clwb; _ } as f) -> (
       f.Event.fseq <- next_seq t;
-      Flush_buffer.add th.fb f;
-      t.cfg.observer.Observer.on_clwb_commit f
+      match t.cfg.variant.Variant.fb_apply with
+      | Variant.Fb_at_fence ->
+          Flush_buffer.add th.fb f;
+          t.cfg.observer.Observer.on_clwb_commit f
+      | Variant.Fb_immediate ->
+          (* CXL-flavoured: the write-back reaches the persistence domain
+             at commit, unordered with respect to any fence.  Reported as
+             a clflush commit so the detector records the applied flush
+             (on_clwb_commit only notes the queueing). *)
+          Metrics.incr m_fb_applies;
+          Persistence.flush_line t.pers ~line:(Addr.line f.Event.faddr)
+            ~seq:f.Event.fseq;
+          t.cfg.observer.Observer.on_clflush_commit f)
   | Store_buffer.Sfence k ->
       ignore (next_seq t);
       drain_flush_buffer t th k;
@@ -173,7 +214,12 @@ let background t =
         | ths ->
             if Rng.chance t.cfg.rng p then begin
               let th = Rng.pick t.cfg.rng ths in
-              let idx = Rng.pick t.cfg.rng (Store_buffer.evictable th.sb) in
+              let idx =
+                match t.cfg.variant.Variant.sb_drain with
+                | Variant.Drain_fifo -> 0
+                | Variant.Drain_tso ->
+                    Rng.pick t.cfg.rng (Store_buffer.evictable th.sb)
+              in
               apply_entry t th (Store_buffer.take th.sb idx);
               loop ()
             end
@@ -224,13 +270,19 @@ let cache_read t th ~addr ~size ~access =
 let load t ~tid ~addr ~size ~access =
   let th = thread t tid in
   tick th;
-  match Store_buffer.forward th.sb ~addr ~size with
-  | Store_buffer.Covered s -> (s.Event.value, From_buffer s)
-  | Store_buffer.Partial ->
-      (* Real hardware stalls partial forwarding; drain and read the cache. *)
-      drain_sb t th;
-      cache_read t th ~addr ~size ~access
-  | Store_buffer.Miss -> cache_read t th ~addr ~size ~access
+  if not t.cfg.variant.Variant.sb_bypass then begin
+    (* No forwarding: every load stalls until the own buffer drains. *)
+    drain_sb t th;
+    cache_read t th ~addr ~size ~access
+  end
+  else
+    match Store_buffer.forward th.sb ~addr ~size with
+    | Store_buffer.Covered s -> (s.Event.value, From_buffer s)
+    | Store_buffer.Partial ->
+        (* Real hardware stalls partial forwarding; drain and read the cache. *)
+        drain_sb t th;
+        cache_read t th ~addr ~size ~access
+    | Store_buffer.Miss -> cache_read t th ~addr ~size ~access
 
 let clflush t ~tid ~addr =
   let th = thread t tid in
@@ -268,10 +320,11 @@ let cas t ~tid ~addr ~size ~expected ~desired ~label =
   let th = thread t tid in
   tick th;
   (* Locked RMW: clears the store buffer and (like mfence) the flush
-     buffer before taking effect. *)
+     buffer before taking effect.  Forced: a locked instruction drains
+     even under [Fence_nop], which weakens only explicit fences. *)
   drain_sb t th;
   let k = { Event.ktid = tid; klclk = th.lclk; kcv = th.cv; kkind = Event.Mfence } in
-  drain_flush_buffer t th k;
+  drain_flush_buffer ~forced:true t th k;
   let observed, source = cache_read t th ~addr ~size ~access:(Access.Atomic Access.Acq_rel) in
   if observed = expected then begin
     tick th;
@@ -340,7 +393,8 @@ let rec drain_everything t =
           let k =
             { Event.ktid = th.tid; klclk = th.lclk; kcv = th.cv; kkind = Event.Mfence }
           in
-          drain_flush_buffer t th k)
+          (* Forced: shutdown must terminate even under [Fence_nop]. *)
+          drain_flush_buffer ~forced:true t th k)
         ths;
       drain_everything t
 

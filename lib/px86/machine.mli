@@ -24,6 +24,9 @@ val sb_policy_of_label : string -> sb_policy option
 
 type config = {
   sb_policy : sb_policy;
+  variant : Variant.t;
+      (** persistency-model variant; {!Variant.strict_tso} is the
+          historical behaviour *)
   rng : Yashme_util.Rng.t;
   observer : Observer.t;
 }

@@ -456,8 +456,9 @@ let sched_loop st =
 (* ------------------------------------------------------------------ *)
 
 let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
-    ?(cut = Machine.Cut_all) ?(sched = Round_robin) ?(seed = 0)
-    ?(check_candidates = true) ?max_ops ?max_wall_s ?observer:extra ~exec_id fn =
+    ?(variant = Px86.Variant.strict_tso) ?(cut = Machine.Cut_all)
+    ?(sched = Round_robin) ?(seed = 0) ?(check_candidates = true) ?max_ops
+    ?max_wall_s ?observer:extra ~exec_id fn =
   let span_t0 =
     if Observe.Trace.recording () then Some (Observe.Trace.now_us ()) else None
   in
@@ -476,7 +477,7 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
   in
   let machine =
     Machine.create ?inherited ~exec_id
-      { Machine.sb_policy; rng = Rng.split rng; observer }
+      { Machine.sb_policy; variant; rng = Rng.split rng; observer }
   in
   let heap_break =
     match inherited with

@@ -81,6 +81,8 @@ type result = {
       failure scenario
     @param plan crash plan; default [Run_to_end]
     @param sb_policy store-buffer drain policy; default [Eager]
+    @param variant persistency-model variant descriptor; default
+      {!Px86.Variant.strict_tso} (the historical semantics)
     @param cut how a crash materializes each line; default [Cut_all]
     @param sched thread scheduling policy; default [Round_robin]
     @param seed seed for all randomized choices; default 0
@@ -102,6 +104,7 @@ val run :
   ?inherited:Px86.Crashstate.t ->
   ?plan:plan ->
   ?sb_policy:Px86.Machine.sb_policy ->
+  ?variant:Px86.Variant.t ->
   ?cut:Px86.Machine.cut_strategy ->
   ?sched:sched_policy ->
   ?seed:int ->

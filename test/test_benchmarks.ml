@@ -582,8 +582,91 @@ let test_registry_complete () =
   check_int "13 programs (Table 5 rows)" 13 (List.length Registry.all);
   check "find is case-insensitive" true
     ((Registry.find "cceh").Pm_harness.Program.name = "CCEH");
+  check "litmus programs findable but not in check-all" true
+    (List.for_all
+       (fun (p : Pm_harness.Program.t) ->
+         (Registry.find p.Pm_harness.Program.name) == p
+         && not (List.memq p Registry.all))
+       Registry.litmus);
   Alcotest.check_raises "unknown name" Not_found (fun () ->
       ignore (Registry.find "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* The litmus x variant matrix (persistency-model validation)           *)
+
+module Variant = Px86.Variant
+
+let matrix = lazy (Litmus.run_matrix ())
+
+(* The strict-tso column IS today's behaviour: running each litmus case
+   with an explicit strict-tso variant produces the byte-identical
+   report of a run with untouched default options. *)
+let test_litmus_strict_tso_is_default () =
+  List.iter
+    (fun (case : Litmus.case) ->
+      let run options =
+        let r =
+          if case.Litmus.c_recovery then
+            Runner.model_check_recovery ~options case.Litmus.c_program
+          else Runner.model_check ~options case.Litmus.c_program
+        in
+        Report.to_string r
+      in
+      Alcotest.(check string)
+        (case.Litmus.c_name ^ " bytes")
+        (run case.Litmus.c_options)
+        (run
+           { case.Litmus.c_options with
+             Runner.variant = Variant.strict_tso }))
+    Litmus.cases
+
+(* The golden divergence table, committed as LITMUS_matrix.txt (also
+   enforced by `yashme litmus --expect` in CI).  A diff here means the
+   persistency-model semantics changed. *)
+let test_litmus_matrix_golden () =
+  (* dune runtest runs in test/; a direct `dune exec` runs in the
+     workspace root. *)
+  let path =
+    if Sys.file_exists "LITMUS_matrix.txt" then "LITMUS_matrix.txt"
+    else "../LITMUS_matrix.txt"
+  in
+  let golden = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string)
+    "rendered matrix matches the committed golden table"
+    (String.trim golden)
+    (String.trim (Litmus.render (Lazy.force matrix)))
+
+(* Named divergences: each non-default variant is provably separated
+   from strict-tso by at least one litmus program, and the control rows
+   separate none. *)
+let test_litmus_divergences () =
+  let m = Lazy.force matrix in
+  List.iter
+    (fun (variant, case) ->
+      check (variant ^ " diverges on " ^ case) true
+        (Litmus.diverges m ~variant ~case))
+    [ ("fence-nop", "litmus-publish-flag");
+      ("fence-nop", "litmus-movnt-fence");
+      ("epoch", "litmus-epoch-bare-fence");
+      ("relaxed", "litmus-relaxed-publish");
+      ("sb-bypass-off", "litmus-sb-bypass-probe");
+      ("sb-fifo", "litmus-sb-fifo-probe") ];
+  List.iter
+    (fun case ->
+      List.iter
+        (fun variant ->
+          check (variant ^ " agrees on control " ^ case) false
+            (Litmus.diverges m ~variant ~case))
+        m.Litmus.m_variants)
+    [ "litmus-flush-fence-chain"; "litmus-clwb-unfenced";
+      "litmus-clflush-strict"; "litmus-same-line-pair";
+      "litmus-epoch-double-crash" ]
+
+(* The matrix is an engine artifact, so it must be jobs-invariant like
+   every report. *)
+let test_litmus_matrix_jobs_invariant () =
+  check "jobs=2 matrix identical" true
+    (Litmus.run_matrix ~jobs:2 () = Lazy.force matrix)
 
 let () =
   Alcotest.run "benchmarks"
@@ -657,4 +740,13 @@ let () =
         ] );
       ( "registry",
         [ Alcotest.test_case "complete" `Quick test_registry_complete ] );
+      ( "litmus-matrix",
+        [
+          Alcotest.test_case "strict-tso is today's behaviour" `Slow
+            test_litmus_strict_tso_is_default;
+          Alcotest.test_case "golden table" `Slow test_litmus_matrix_golden;
+          Alcotest.test_case "named divergences" `Slow test_litmus_divergences;
+          Alcotest.test_case "jobs-invariant" `Slow
+            test_litmus_matrix_jobs_invariant;
+        ] );
     ]

@@ -122,14 +122,67 @@ let test_witness_rejects_bad_version () =
   let w = List.hd (mc_witnesses toy) in
   let line = Witness.encode w in
   let bumped =
-    Str.global_replace (Str.regexp_string "{\"v\":1,") "{\"v\":99," line
+    Str.global_replace (Str.regexp_string "{\"v\":2,") "{\"v\":99," line
   in
+  check "fixture rewrote the version" true (bumped <> line);
   match Witness.decode bumped with
   | Ok _ -> Alcotest.fail "version 99 must be rejected"
   | Error msg ->
       check "error names the version" true
         (try ignore (Str.search_forward (Str.regexp_string "99") msg 0); true
          with Not_found -> false)
+
+(* Corpora recorded before the variant field existed (format v1, no
+   "variant" key) must keep loading: the variant defaults to
+   strict-tso, which is exactly the model those witnesses were found
+   under, so they replay unchanged. *)
+let test_witness_v1_compat () =
+  let w = List.hd (mc_witnesses toy) in
+  let line = Witness.encode w in
+  let v1 =
+    line
+    |> Str.global_replace (Str.regexp_string "{\"v\":2,") "{\"v\":1,"
+    |> Str.global_replace (Str.regexp_string "\"variant\":\"strict-tso\",") ""
+  in
+  check "fixture dropped the variant field" true
+    (try ignore (Str.search_forward (Str.regexp_string "variant") v1 0); false
+     with Not_found -> true);
+  match Witness.decode v1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok w' ->
+      check "missing variant defaults to strict-tso" true
+        (Px86.Variant.is_default w'.Witness.options.Scenario.variant);
+      let r = Replay.replay_all ~lookup [ w' ] in
+      check_int "v1 witness reproduces" r.Replay.total r.Replay.reproduced
+
+(* A witness recorded under a non-default variant carries its label and
+   replays under that same model. *)
+let test_witness_variant_roundtrip () =
+  let options =
+    { Runner.default_options with variant = Px86.Variant.fence_nop }
+  in
+  let p = Option.get (lookup "litmus-publish-flag") in
+  let ws =
+    (Witness.of_outcome ~program:p.Program.name
+       (Runner.model_check_outcome ~options p))
+      .Witness.witnesses
+  in
+  check "fence-nop yields witnesses" true (ws <> []);
+  check "the data race is recorded" true
+    (List.exists (fun (w : Witness.t) -> w.Witness.key = "lit.data") ws);
+  List.iter
+    (fun (w : Witness.t) ->
+      check "line carries the variant label" true
+        (try
+           ignore
+             (Str.search_forward
+                (Str.regexp_string "\"variant\":\"fence-nop\"")
+                (Witness.encode w) 0);
+           true
+         with Not_found -> false))
+    ws;
+  let r = Replay.replay_all ~lookup ws in
+  check_int "variant witnesses reproduce" r.Replay.total r.Replay.reproduced
 
 (* ------------------------------------------------------------------ *)
 (* Extraction: corpus keys == report keys, bytes jobs-invariant         *)
@@ -336,7 +389,7 @@ let explain_text () =
   in
   match Yashme.Detector.races detector with
   | [] -> Alcotest.fail "litmus-torn must race when its flush is cut off"
-  | race :: _ -> Pm_harness.Witness.explain ~trace ~detector ~race
+  | race :: _ -> Pm_harness.Witness.explain ~trace ~detector ~race ()
 
 let test_explain_golden () =
   check_str "pinned witness rendering" golden_explain (explain_text ())
@@ -356,6 +409,10 @@ let () =
           Alcotest.test_case "encode/decode round-trip" `Quick
             test_witness_roundtrip;
           Alcotest.test_case "version gate" `Quick test_witness_rejects_bad_version;
+          Alcotest.test_case "v1 compat (pre-variant)" `Quick
+            test_witness_v1_compat;
+          Alcotest.test_case "variant round-trip + replay" `Quick
+            test_witness_variant_roundtrip;
           Alcotest.test_case "golden explain rendering" `Quick test_explain_golden;
         ] );
       ( "extraction",

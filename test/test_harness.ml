@@ -6,6 +6,7 @@ open Pm_runtime
 module Runner = Pm_harness.Runner
 module Report = Pm_harness.Report
 module Program = Pm_harness.Program
+module Scenario = Pm_harness.Scenario
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -148,7 +149,7 @@ let test_witness_renders () =
   match Yashme.Detector.races detector with
   | [] -> Alcotest.fail "expected a race on the toy program"
   | race :: _ ->
-      let w = Pm_harness.Witness.explain ~trace ~detector ~race in
+      let w = Pm_harness.Witness.explain ~trace ~detector ~race () in
       check "mentions the racing field" true
         (String.length w > 100
         &&
@@ -194,6 +195,81 @@ let test_report_renders () =
   let s = Report.to_string r in
   check "mentions program" true (String.length s > 0 && s.[0] = 'p')
 
+(* The [variant] line is rendered ONLY for non-default variants, so
+   every report and witness ever produced under the default model stays
+   byte-identical. *)
+let test_report_variant_line () =
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let default_r = Report.dedup ~program:"p" ~executions:2 [ mk_race "a" ] in
+  check "default report has no variant line" false
+    (contains (Report.to_string default_r) "[variant");
+  let r =
+    Report.dedup ~program:"p" ~variant:"fence-nop" ~executions:2
+      [ mk_race "a" ]
+  in
+  check "non-default report names its variant" true
+    (contains (Report.to_string r) "[variant fence-nop]");
+  (* An explicit strict-tso label is the default: still no line. *)
+  let r' =
+    Report.dedup ~program:"p" ~variant:Px86.Variant.default_label ~executions:2
+      [ mk_race "a" ]
+  in
+  Alcotest.(check string)
+    "explicit strict-tso renders byte-identically"
+    (Report.to_string default_r) (Report.to_string r');
+  (* Same contract for the witness explanation. *)
+  let detector, trace =
+    Runner.run_once_traced ~plan:Executor.Crash_at_end toy
+  in
+  match Yashme.Detector.races detector with
+  | [] -> Alcotest.fail "expected a race on the toy program"
+  | race :: _ ->
+      let plain = Pm_harness.Witness.explain ~trace ~detector ~race () in
+      let strict =
+        Pm_harness.Witness.explain ~variant:Px86.Variant.default_label ~trace
+          ~detector ~race ()
+      in
+      let nop =
+        Pm_harness.Witness.explain ~variant:"fence-nop" ~trace ~detector ~race
+          ()
+      in
+      Alcotest.(check string) "explain: default == strict-tso" plain strict;
+      check "explain: fence-nop adds the line" true
+        (contains nop "[variant fence-nop]")
+
+(* Composed options round-trip through the corpus field codec for every
+   built-in variant (the pre-variant default path is covered by the
+   corpus v1-compat test). *)
+let test_options_fields_variant_roundtrip () =
+  List.iter
+    (fun (name, v, _) ->
+      let o = { Scenario.default_options with Scenario.variant = v; seed = 9 } in
+      match Scenario.options_of_fields (Scenario.options_fields o) with
+      | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+      | Ok o' ->
+          check (name ^ " options round-trip") true (o = o'))
+    Px86.Variant.builtins;
+  match
+    Scenario.options_of_fields
+      (("variant", `S "no-such-model")
+      :: List.remove_assoc "variant"
+           (Scenario.options_fields Scenario.default_options))
+  with
+  | Ok _ -> Alcotest.fail "unknown variant label must be rejected"
+  | Error msg ->
+      check "error names the label" true
+        (let n = String.length msg in
+         let rec go i =
+           i + 13 <= n && (String.sub msg i 13 = "no-such-model" || go (i + 1))
+         in
+         go 0)
+
 let test_unlabelled_dedup () =
   let store =
     { Px86.Event.seq = 1; tid = 0; lclk = 1; cv = Yashme_util.Clockvec.empty; addr = 4;
@@ -234,6 +310,10 @@ let () =
           Alcotest.test_case "dedup by label" `Quick test_dedup_by_label;
           Alcotest.test_case "benign accounting" `Quick test_benign_only_if_all_benign;
           Alcotest.test_case "renders" `Quick test_report_renders;
+          Alcotest.test_case "variant line only when non-default" `Quick
+            test_report_variant_line;
+          Alcotest.test_case "options variant round-trip" `Quick
+            test_options_fields_variant_roundtrip;
           Alcotest.test_case "unlabelled key" `Quick test_unlabelled_dedup;
         ] );
     ]

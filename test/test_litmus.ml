@@ -12,9 +12,11 @@ open Px86
 
 let check = Alcotest.(check bool)
 
-let machine ?(policy = Machine.Random_drain 0.4) seed =
+let machine ?(policy = Machine.Random_drain 0.4) ?(variant = Variant.strict_tso)
+    seed =
   Machine.create ~exec_id:0
-    { Machine.sb_policy = policy; rng = Rng.create seed; observer = Observer.nop }
+    { Machine.sb_policy = policy; variant; rng = Rng.create seed;
+      observer = Observer.nop }
 
 let plain = Access.Plain
 let rel = Access.Atomic Access.Release
@@ -95,10 +97,10 @@ let test_store_order_observed () =
 (* ------------------------------------------------------------------ *)
 (* Persistency litmus tests (over random crash cuts)                    *)
 
-let crash_values ~seeds ~program ~addrs =
+let crash_values ?variant ~seeds ~program ~addrs () =
   List.map
     (fun seed ->
-      let m = machine ~policy:Machine.Eager seed in
+      let m = machine ~policy:Machine.Eager ?variant seed in
       program m;
       let cs = Machine.crash m ~strategy:(Machine.Cut_random (Rng.create (seed * 7 + 1))) in
       List.map (fun a -> Memimage.read cs.Crashstate.image ~addr:a ~size:8) addrs)
@@ -112,7 +114,7 @@ let test_same_line_persist_order () =
       ~program:(fun m ->
         store m ~tid:0 ~addr:0 1L plain;
         store m ~tid:0 ~addr:8 1L plain)
-      ~addrs:[ 0; 8 ]
+      ~addrs:[ 0; 8 ] ()
   in
   check "no y-without-x on one line" false (List.mem [ 0L; 1L ] outcomes)
 
@@ -123,7 +125,7 @@ let test_cross_line_reorder_possible () =
       ~program:(fun m ->
         store m ~tid:0 ~addr:0 1L plain;
         store m ~tid:0 ~addr:64 1L plain)
-      ~addrs:[ 0; 64 ]
+      ~addrs:[ 0; 64 ] ()
   in
   check "y-without-x reachable across lines" true (List.mem [ 0L; 1L ] outcomes)
 
@@ -137,7 +139,7 @@ let test_clflush_then_store () =
         Machine.clflush m ~tid:0 ~addr:0;
         Machine.background m;
         store m ~tid:0 ~addr:64 1L plain)
-      ~addrs:[ 0; 64 ]
+      ~addrs:[ 0; 64 ] ()
   in
   check "flushed x always present" false
     (List.exists (function [ x; _ ] -> x = 0L | _ -> false) outcomes)
@@ -150,7 +152,7 @@ let test_clwb_unfenced_weak () =
         store m ~tid:0 ~addr:0 1L plain;
         Machine.clwb m ~tid:0 ~addr:0;
         Machine.background m)
-      ~addrs:[ 0 ]
+      ~addrs:[ 0 ] ()
   in
   check "unfenced clwb may lose the store" true (List.mem [ 0L ] outcomes)
 
@@ -163,7 +165,7 @@ let test_clwb_fenced_strong () =
         Machine.clwb m ~tid:0 ~addr:0;
         Machine.sfence m ~tid:0;
         Machine.background m)
-      ~addrs:[ 0 ]
+      ~addrs:[ 0 ] ()
   in
   check "fenced clwb always persists" false (List.mem [ 0L ] outcomes)
 
@@ -177,7 +179,7 @@ let test_movnt_persistency () =
         Machine.background m;
         Machine.sfence m ~tid:0;
         Machine.background m)
-      ~addrs:[ 0 ]
+      ~addrs:[ 0 ] ()
   in
   check "fenced movnt persists" false (List.mem [ 0L ] fenced);
   let unfenced =
@@ -186,7 +188,7 @@ let test_movnt_persistency () =
         Machine.store ~nt:true m ~tid:0 ~addr:0 ~size:8 ~value:1L ~access:plain
           ~label:None;
         Machine.background m)
-      ~addrs:[ 0 ]
+      ~addrs:[ 0 ] ()
   in
   check "unfenced movnt may be lost" true (List.mem [ 0L ] unfenced)
 
@@ -211,10 +213,100 @@ let test_epoch_ordering () =
         Machine.sfence m ~tid:0;
         Machine.background m;
         store m ~tid:0 ~addr:64 1L plain)
-      ~addrs:[ 0; 64 ]
+      ~addrs:[ 0; 64 ] ()
   in
   check "epoch: y implies x" false
     (List.exists (function [ x; y ] -> x = 0L && y = 1L | _ -> false) outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Persistency-model variants: the same programs under perturbed
+   descriptors, pinning each variant's semantic delta at the machine
+   level (the end-to-end detector deltas are pinned by the
+   LITMUS_matrix golden in the benchmarks suite). *)
+
+(* fence-nop: the strict guarantee of clwb+sfence evaporates — the
+   flush buffer is never drained, so the store may be lost. *)
+let test_variant_fence_nop_loses_fenced_clwb () =
+  let outcomes =
+    crash_values ~variant:Variant.fence_nop ~seeds:40
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        Machine.clwb m ~tid:0 ~addr:0;
+        Machine.sfence m ~tid:0;
+        Machine.background m)
+      ~addrs:[ 0 ] ()
+  in
+  check "fence-nop: fenced clwb may lose the store" true
+    (List.mem [ 0L ] outcomes)
+
+(* epoch: a bare fence is a persist barrier, so a store followed by
+   sfence alone is always durable — which strict-tso never guarantees. *)
+let test_variant_epoch_bare_fence_persists () =
+  let program m =
+    store m ~tid:0 ~addr:0 1L plain;
+    Machine.sfence m ~tid:0;
+    Machine.background m
+  in
+  let epoch =
+    crash_values ~variant:Variant.epoch ~seeds:40 ~program ~addrs:[ 0 ] ()
+  in
+  check "epoch: bare sfence persists the store" false (List.mem [ 0L ] epoch);
+  let strict = crash_values ~seeds:60 ~program ~addrs:[ 0 ] () in
+  check "strict-tso: bare sfence may lose the store" true
+    (List.mem [ 0L ] strict)
+
+(* relaxed: clwb applies at commit, so even an unfenced clwb is always
+   durable (strict-tso's test_clwb_unfenced_weak shows the contrast). *)
+let test_variant_relaxed_unfenced_clwb_persists () =
+  let outcomes =
+    crash_values ~variant:Variant.relaxed ~seeds:60
+      ~program:(fun m ->
+        store m ~tid:0 ~addr:0 1L plain;
+        Machine.clwb m ~tid:0 ~addr:0;
+        Machine.background m)
+      ~addrs:[ 0 ] ()
+  in
+  check "relaxed: unfenced clwb always persists" false (List.mem [ 0L ] outcomes)
+
+(* sb-bypass-off: a load stalls until the buffer drains instead of
+   forwarding, so the own load makes the store visible to everyone. *)
+let test_variant_sb_bypass_off_drains_on_load () =
+  let run variant =
+    let m = machine ~policy:(Machine.Random_drain 0.0) ~variant 0 in
+    Machine.store m ~tid:0 ~addr:0 ~size:8 ~value:1L ~access:plain ~label:None;
+    let own = load m ~tid:0 ~addr:0 plain in
+    let other = load m ~tid:1 ~addr:0 plain in
+    (own, other)
+  in
+  check "strict-tso: forwarding keeps the store private" true
+    (run Variant.strict_tso = (1L, 0L));
+  check "sb-bypass-off: the load drains, others see the store" true
+    (run Variant.sb_bypass_off = (1L, 1L))
+
+(* Label round-trips: every built-in by name, every descriptor through
+   the explicit field form, and garbage rejected. *)
+let test_variant_label_roundtrip () =
+  List.iter
+    (fun (name, v, _) ->
+      check (name ^ " label") true (Variant.label v = name);
+      check (name ^ " of_label") true (Variant.of_label name = Some v);
+      check
+        (name ^ " field form")
+        true
+        (Variant.of_label (Variant.field_form v) = Some v))
+    Variant.builtins;
+  let custom = { Variant.fence_nop with Variant.sb_bypass = false } in
+  let l = Variant.label custom in
+  check "custom label uses the field form" true
+    (String.length l > 7 && String.sub l 0 7 = "custom:");
+  check "custom label round-trips" true (Variant.of_label l = Some custom);
+  check "unknown name rejected" true (Variant.of_label "px86-turbo" = None);
+  check "truncated field form rejected" true
+    (Variant.of_label "custom:sb=tso,bypass=on" = None);
+  check "default is strict-tso" true
+    (Variant.is_default Variant.strict_tso
+    && Variant.default_label = "strict-tso"
+    && not (Variant.is_default Variant.epoch))
 
 let () =
   Alcotest.run "litmus"
@@ -238,5 +330,18 @@ let () =
           Alcotest.test_case "movnt persistency" `Quick test_movnt_persistency;
           Alcotest.test_case "buffered stores lost" `Quick test_buffered_stores_lost;
           Alcotest.test_case "epoch ordering" `Quick test_epoch_ordering;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "fence-nop loses fenced clwb" `Quick
+            test_variant_fence_nop_loses_fenced_clwb;
+          Alcotest.test_case "epoch bare fence persists" `Quick
+            test_variant_epoch_bare_fence_persists;
+          Alcotest.test_case "relaxed unfenced clwb persists" `Quick
+            test_variant_relaxed_unfenced_clwb_persists;
+          Alcotest.test_case "sb-bypass-off drains on load" `Quick
+            test_variant_sb_bypass_off_drains_on_load;
+          Alcotest.test_case "label round-trips" `Quick
+            test_variant_label_roundtrip;
         ] );
     ]

@@ -283,7 +283,8 @@ let test_pers_latest_at_or_below () =
 
 let machine ?(policy = Machine.Eager) ?(seed = 0) () =
   Machine.create ~exec_id:0
-    { Machine.sb_policy = policy; rng = Rng.create seed; observer = Observer.nop }
+    { Machine.sb_policy = policy; variant = Variant.strict_tso;
+      rng = Rng.create seed; observer = Observer.nop }
 
 (* The executor calls [background] between instructions; these wrappers
    do the same for direct machine tests. *)
@@ -430,7 +431,8 @@ let test_machine_inherited_chain () =
   let cs = Machine.shutdown m in
   let m2 =
     Machine.create ~inherited:cs ~exec_id:1
-      { Machine.sb_policy = Machine.Eager; rng = Rng.create 0; observer = Observer.nop }
+      { Machine.sb_policy = Machine.Eager; variant = Variant.strict_tso;
+        rng = Rng.create 0; observer = Observer.nop }
   in
   let v, src = Machine.load m2 ~tid:0 ~addr:0 ~size:8 ~access:Access.Plain in
   check_i64 "reads inherited value" 5L v;
@@ -499,7 +501,8 @@ let prop_random_drain_fifo =
       in
       let m =
         Machine.create ~exec_id:0
-          { Machine.sb_policy = Machine.Random_drain 0.3; rng = Rng.create seed;
+          { Machine.sb_policy = Machine.Random_drain 0.3;
+            variant = Variant.strict_tso; rng = Rng.create seed;
             observer }
       in
       for i = 1 to 10 do
@@ -631,7 +634,8 @@ let prop_flushed_survives =
     QCheck.(pair (int_bound 10_000) (int_bound 5)) (fun (seed, nstores) ->
       let m =
         Machine.create ~exec_id:0
-          { Machine.sb_policy = Machine.Random_drain 0.5; rng = Rng.create seed;
+          { Machine.sb_policy = Machine.Random_drain 0.5;
+            variant = Variant.strict_tso; rng = Rng.create seed;
             observer = Observer.nop }
       in
       let n = nstores + 1 in

@@ -128,6 +128,30 @@ let test_coverage_ambient_restored_on_exception () =
   check "inner recorded nothing" true (Coverage.find "inner" = None);
   quiesce ()
 
+(* The same program under two model variants accumulates into separate
+   buckets, and the snapshot names each bucket's variant. *)
+let test_coverage_per_variant () =
+  quiesce ();
+  Coverage.enable ();
+  Coverage.with_program "prog" (fun () -> Coverage.scenario_started ());
+  Coverage.with_program ~variant:"fence-nop" "prog" (fun () ->
+      Coverage.scenario_started ();
+      Coverage.scenario_started ());
+  (match Coverage.find "prog" with
+  | Some s ->
+      check_int "default bucket isolated" 1 s.Coverage.scenarios;
+      check_str "default bucket label" Coverage.default_variant
+        s.Coverage.variant
+  | None -> Alcotest.fail "default bucket missing");
+  (match Coverage.find ~variant:"fence-nop" "prog" with
+  | Some s -> check_int "variant bucket isolated" 2 s.Coverage.scenarios
+  | None -> Alcotest.fail "variant bucket missing");
+  check "fields carry the variant" true
+    (List.exists
+       (fun s -> List.assoc "variant" (Coverage.fields s) = `S "fence-nop")
+       (Coverage.snapshot ()));
+  quiesce ()
+
 let test_indices_label () =
   check_str "empty" "-" (Coverage.indices_label []);
   check_str "singleton" "7" (Coverage.indices_label [ 7 ]);
@@ -437,6 +461,8 @@ let () =
             test_coverage_accumulates_and_merges;
           Alcotest.test_case "ambient restored on exception" `Quick
             test_coverage_ambient_restored_on_exception;
+          Alcotest.test_case "per-variant buckets" `Quick
+            test_coverage_per_variant;
           Alcotest.test_case "indices label" `Quick test_indices_label;
           Alcotest.test_case "jobs-invariant snapshot" `Slow
             test_coverage_jobs_invariant;
