@@ -197,13 +197,28 @@ let table5 () =
 
 module Engine = Pm_harness.Engine
 
+(* One benchmark's jobs=1 / jobs=N measurement plus everything that
+   rides along in the JSON line and the optional run ledger. *)
+type measure = {
+  m_name : string;
+  m_s1 : Engine.stats;
+  m_sn : Engine.stats;
+  m_diff : (string * int) list;  (* metrics diff around the jobs=N run *)
+  m_att : Observe.Attribution.row list;  (* cost centers, same window *)
+  m_gc_minor : int;  (* Gc.quick_stat word deltas, same window *)
+  m_gc_major : int;
+  m_extract : Pm_corpus.Witness.extraction;
+  m_report : Report.t;
+}
+
 (* Model-check a few multi-flush-point benchmarks through the engine at
    jobs=1 and jobs=N and report scenario/execution/op throughput, plus
    one machine-readable JSON line per benchmark (the driver consuming
    the bench output parses these).  The same lines are written to
    [out] — the summary file [yashme bench-diff] gates against a
-   committed baseline. *)
-let engine_throughput ~jobs ~out () =
+   committed baseline — and, with [ledger], one run-manifest entry per
+   benchmark is appended for [yashme runs]/[yashme compare]. *)
+let engine_throughput ~jobs ~out ?ledger () =
   section
     (Printf.sprintf "Exploration engine throughput (model checking, jobs=%d)"
        jobs);
@@ -215,8 +230,10 @@ let engine_throughput ~jobs ~out () =
      diffs of the global registry around the jobs=N run.  The counters
      are jobs-invariant (each scenario runs exactly once), so these
      numbers double as a cheap cross-check of the determinism
-     contract. *)
+     contract.  Attribution cost centers are collected over the same
+     window; GC word deltas are process-global and volatile. *)
   Observe.Metrics.enable ();
+  Observe.Attribution.enable ();
   let counter_of diff name =
     match List.assoc_opt name diff with Some v -> v | None -> 0
   in
@@ -225,23 +242,41 @@ let engine_throughput ~jobs ~out () =
       (fun (p : Pm_harness.Program.t) ->
         let _, s1 = Runner.model_check_run ~jobs:1 p in
         let before = Observe.Metrics.snapshot () in
+        let att_before = Observe.Attribution.snapshot () in
+        let gc0 = Gc.quick_stat () in
         let o = Runner.model_check_outcome ~jobs p in
+        let gc1 = Gc.quick_stat () in
         let sn = o.Runner.o_stats in
         let diff = Observe.Metrics.diff before (Observe.Metrics.snapshot ()) in
+        let att =
+          Observe.Attribution.diff att_before (Observe.Attribution.snapshot ())
+        in
         (* Witness-corpus accounting rides along: how many distinct
            witnesses the run would emit under --corpus-out, and what
            fraction of the raw observations folded into them. *)
         let e =
           Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
         in
-        (p.Pm_harness.Program.name, s1, sn, diff, e))
+        {
+          m_name = p.Pm_harness.Program.name;
+          m_s1 = s1;
+          m_sn = sn;
+          m_diff = diff;
+          m_att = att;
+          m_gc_minor = int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+          m_gc_major = int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
+          m_extract = e;
+          m_report = o.Runner.o_report;
+        })
       programs
   in
   Observe.Metrics.disable ();
+  Observe.Attribution.disable ();
   let rows =
     List.map
-      (fun (name, (s1 : Engine.stats), (sn : Engine.stats), _, _) ->
-        [ name; string_of_int sn.Engine.scenarios;
+      (fun m ->
+        let s1 = m.m_s1 and sn = m.m_sn in
+        [ m.m_name; string_of_int sn.Engine.scenarios;
           string_of_int sn.Engine.executions; string_of_int sn.Engine.ops;
           Printf.sprintf "%.4fs" s1.Engine.elapsed_s;
           Printf.sprintf "%.4fs" sn.Engine.elapsed_s;
@@ -261,9 +296,10 @@ let engine_throughput ~jobs ~out () =
   let safe_div a b = if b > 0. then a /. b else 0. in
   let json_lines =
     List.map
-      (fun (name, (s1 : Engine.stats), (sn : Engine.stats), diff,
-            (e : Pm_corpus.Witness.extraction)) ->
-        let c = counter_of diff in
+      (fun m ->
+        let s1 = m.m_s1 and sn = m.m_sn in
+        let e = m.m_extract in
+        let c = counter_of m.m_diff in
         let dedup_rate =
           if e.Pm_corpus.Witness.raw = 0 then 0.0
           else
@@ -279,7 +315,7 @@ let engine_throughput ~jobs ~out () =
           + c "executor/post/stores"
         in
         Pm_corpus.Json.encode_obj
-          [ ("bench", `S name);
+          [ ("bench", `S m.m_name);
             ("variant", `S Px86.Variant.default_label);
             ("jobs", `I sn.Engine.jobs);
             ("scenarios", `I sn.Engine.scenarios);
@@ -303,7 +339,14 @@ let engine_throughput ~jobs ~out () =
             ("px86_fb_applies", `I (c "px86/fb_applies"));
             ("px86_crashes", `I (c "px86/crash_materializations"));
             ("witnesses_emitted", `I (List.length e.Pm_corpus.Witness.witnesses));
-            ("corpus_dedup_rate", `F dedup_rate) ])
+            ("corpus_dedup_rate", `F dedup_rate);
+            (* Observability columns (wall-clock class: process-global
+               GC deltas and snapshot-copy volume).  Appended last so
+               older baselines diff cleanly — bench-diff ignores extra
+               metrics it wasn't asked to compare. *)
+            ("gc_minor_words", `I m.m_gc_minor);
+            ("gc_major_words", `I m.m_gc_major);
+            ("snapshot_bytes", `I (c "px86/snapshot_bytes")) ])
       measured
   in
   List.iter print_endline json_lines;
@@ -316,7 +359,47 @@ let engine_throughput ~jobs ~out () =
           output_string oc l;
           output_char oc '\n')
         json_lines);
-  Printf.printf "engine-throughput summary written to %s\n" out
+  Printf.printf "engine-throughput summary written to %s\n" out;
+  match ledger with
+  | None -> ()
+  | Some file ->
+      List.iter
+        (fun m ->
+          let sn = m.m_sn in
+          let r = m.m_report in
+          let entry =
+            {
+              Observe.Ledger.e_version = Observe.Ledger.version;
+              e_run = m.m_name;
+              e_ts = Unix.gettimeofday ();
+              e_program = m.m_name;
+              e_variant = Px86.Variant.default_label;
+              e_mode = "bench";
+              e_jobs = sn.Engine.jobs;
+              e_seed = Runner.default_options.Runner.seed;
+              e_scenarios = sn.Engine.scenarios;
+              e_completed = sn.Engine.completed;
+              e_faulted = sn.Engine.faulted;
+              e_diverged = sn.Engine.diverged;
+              e_executions = sn.Engine.executions;
+              e_ops = sn.Engine.ops;
+              e_races = List.length (Report.real r);
+              e_benign = List.length (Report.benign r);
+              e_raw_races = r.Report.raw_races;
+              e_recovery_failures = List.length r.Report.recovery_failures;
+              e_witnesses =
+                List.length m.m_extract.Pm_corpus.Witness.witnesses;
+              e_elapsed_s = sn.Engine.elapsed_s;
+              e_cpu_s = sn.Engine.cpu_s;
+              e_metrics_digest = Observe.Ledger.digest_counters m.m_diff;
+              e_coverage_digest = "";
+              e_cost = Observe.Ledger.costs_of_rows m.m_att;
+            }
+          in
+          Pm_corpus.Ledger_store.append file entry)
+        measured;
+      Printf.printf "ledger: %d bench run(s) appended to %s\n"
+        (List.length measured) file
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out                    *)
@@ -543,13 +626,24 @@ let out_arg =
   in
   scan (Array.to_list Sys.argv)
 
+(* [--ledger FILE] appends one run-manifest entry per benchmark to the
+   ledger, mode "bench" (see yashme runs / yashme compare). *)
+let ledger_arg =
+  let rec scan = function
+    | "--ledger" :: f :: _ -> Some f
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 (* [--throughput-only] skips the paper tables: the fast path CI's bench
    gate runs twice back to back. *)
 let throughput_only = Array.exists (String.equal "--throughput-only") Sys.argv
 
 let () =
   print_endline "Yashme reproduction benchmark harness";
-  if throughput_only then engine_throughput ~jobs:jobs_arg ~out:out_arg ()
+  if throughput_only then
+    engine_throughput ~jobs:jobs_arg ~out:out_arg ?ledger:ledger_arg ()
   else begin
     print_endline
       "(shapes, not absolute numbers, are the target; see EXPERIMENTS.md)";
@@ -560,7 +654,7 @@ let () =
     let t3 = table3 () in
     let t4 = table4 () in
     table5 ();
-    engine_throughput ~jobs:jobs_arg ~out:out_arg ();
+    engine_throughput ~jobs:jobs_arg ~out:out_arg ?ledger:ledger_arg ();
     ablations ();
     bechamel_suite ();
     section "Summary";

@@ -8,6 +8,8 @@
    yashme corpus merge|stats            manage witness corpora
    yashme profile TRACE                 hot-spot tables from a recorded trace
    yashme bench-diff BASE CUR           benchmark regression gate
+   yashme runs LEDGER                   list runs recorded with --ledger
+   yashme compare LEDGER A B            diff two ledger runs (counter deltas)
    yashme variants                      list persistency-model variants
    yashme litmus                        litmus suite x variant divergence matrix
    yashme tables                        print the reorder/compiler tables *)
@@ -181,13 +183,47 @@ let fail_fast_flag =
              reported alongside the races." in
   Arg.(value & flag & info [ "fail-fast" ] ~doc)
 
+let attribution_flag =
+  let doc = "Collect per-scenario cost attribution (queue-wait vs work wall \
+             clock, per-phase time, GC minor/major words, snapshot bytes \
+             copied, detector clock-vector and prefix-expansion charges) and \
+             print an [attribution] cost-center table after each report.  \
+             Counts and charged units are identical for every --jobs count; \
+             wall clocks and GC words are not.  The race report itself is \
+             byte-identical with or without this flag." in
+  Arg.(value & flag & info [ "attribution" ] ~doc)
+
+let attribution_out =
+  let doc = "Also write the cost-center table's jobs-invariant projection \
+             (counts and deterministic charged units; no wall clocks) to \
+             $(docv) as JSONL, one flat object per center.  Byte-identical \
+             for every --jobs count.  Implies --attribution.  Render it \
+             later with $(b,yashme profile --attribution)." in
+  Arg.(value & opt (some string) None & info [ "attribution-out" ] ~doc ~docv:"FILE")
+
+let ledger_arg =
+  let doc = "Append one versioned run-manifest line to $(docv) (JSONL): \
+             program, variant, jobs, engine stats, metrics and coverage \
+             digests, cost centers, witness count.  Implies collecting \
+             metrics, coverage and attribution (without printing their \
+             blocks).  Inspect with $(b,yashme runs), diff with $(b,yashme \
+             compare)." in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~doc ~docv:"FILE")
+
+let run_label_arg =
+  let doc = "Run label recorded in the ledger entry (default: the program \
+             name).  $(b,yashme compare) selects runs by label or 1-based \
+             ordinal." in
+  Arg.(value & opt (some string) None & info [ "run-label" ] ~doc ~docv:"LABEL")
+
 (* Arm the observe layer before a detection run... *)
 let observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
-    ~trace_out ~quiet () =
+    ?(attribution = false) ~trace_out ~quiet () =
   (match log_level with
   | Some l -> Observe.Log.set_level l
   | None -> Observe.Log.set_quiet quiet);
   if metrics then Observe.Metrics.enable ();
+  if attribution then Observe.Attribution.enable ();
   if coverage then begin
     Observe.Coverage.enable ();
     Observe.Coverage.reset ()
@@ -229,6 +265,78 @@ let attach_coverage ~coverage ~variant (p : Pm_harness.Program.t) r =
     with
     | Some c -> Pm_harness.Report.with_coverage r c
     | None -> r
+
+(* The jobs-invariant attribution projection as JSONL, one flat object
+   per cost center, through the corpus codec (like coverage-out). *)
+let write_attribution_file rows = function
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun r ->
+              output_string oc
+                (Pm_corpus.Json.encode_obj (Observe.Attribution.fields r));
+              output_char oc '\n')
+            rows);
+      Printf.printf "attribution: %d cost center(s) written to %s\n"
+        (List.length rows) file
+
+let mode_label = function
+  | `Mc -> "mc"
+  | `Mc_recovery -> "mc-recovery"
+  | `Random -> "random"
+
+(* One run-manifest line, built from what the run attached to the
+   report (metrics diff, coverage, attribution rows) plus the engine
+   stats.  [--ledger] forces all three to be collected, so the digests
+   and cost centers are always populated here. *)
+let append_ledger ~ledger ~run_label ~mode ~seed ~witnesses
+    ~(stats : Pm_harness.Engine.stats) (r : Pm_harness.Report.t) =
+  match ledger with
+  | None -> ()
+  | Some file ->
+      let entry =
+        {
+          Observe.Ledger.e_version = Observe.Ledger.version;
+          e_run =
+            Option.value run_label ~default:r.Pm_harness.Report.program;
+          e_ts = Unix.gettimeofday ();
+          e_program = r.Pm_harness.Report.program;
+          e_variant = r.Pm_harness.Report.variant;
+          e_mode = mode;
+          e_jobs = stats.Pm_harness.Engine.jobs;
+          e_seed = seed;
+          e_scenarios = stats.Pm_harness.Engine.scenarios;
+          e_completed = stats.Pm_harness.Engine.completed;
+          e_faulted = stats.Pm_harness.Engine.faulted;
+          e_diverged = stats.Pm_harness.Engine.diverged;
+          e_executions = stats.Pm_harness.Engine.executions;
+          e_ops = stats.Pm_harness.Engine.ops;
+          e_races = List.length (Pm_harness.Report.real r);
+          e_benign = List.length (Pm_harness.Report.benign r);
+          e_raw_races = r.Pm_harness.Report.raw_races;
+          e_recovery_failures =
+            List.length r.Pm_harness.Report.recovery_failures;
+          e_witnesses = witnesses;
+          e_elapsed_s = stats.Pm_harness.Engine.elapsed_s;
+          e_cpu_s = stats.Pm_harness.Engine.cpu_s;
+          e_metrics_digest =
+            Observe.Ledger.digest_counters r.Pm_harness.Report.metrics;
+          e_coverage_digest =
+            (match r.Pm_harness.Report.coverage with
+            | Some c ->
+                Observe.Ledger.digest_fields (Observe.Coverage.fields c)
+            | None -> "");
+          e_cost =
+            Observe.Ledger.costs_of_rows r.Pm_harness.Report.attribution;
+        }
+      in
+      Pm_corpus.Ledger_store.append file entry;
+      Printf.printf "ledger: run %S appended to %s\n"
+        entry.Observe.Ledger.e_run file
 
 (* ...and flush it afterwards: write the trace file, if one was asked
    for. *)
@@ -346,16 +454,29 @@ let check_cmd =
   let run bench run_mode dmode execs jobs seed variant show_benign eadr
       no_coherence no_candidates metrics trace_out quiet max_ops timeout
       fail_fast corpus_out log_level coverage coverage_out progress
-      progress_out =
+      progress_out attribution attribution_out ledger run_label =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
         exit 1
     | p ->
-        let coverage = coverage || coverage_out <> None in
-        observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
+        (* Show vs collect: --ledger needs metrics, coverage and
+           attribution collected for its digests and cost centers, but
+           printing their blocks stays gated on the explicit flags. *)
+        let coverage_show = coverage || coverage_out <> None in
+        let att_show = attribution || attribution_out <> None in
+        let collect_metrics = metrics || ledger <> None in
+        let collect_coverage = coverage_show || ledger <> None in
+        let collect_att = att_show || ledger <> None in
+        observe_setup ~log_level ~coverage:collect_coverage ~progress
+          ~progress_out ~metrics:collect_metrics ~attribution:collect_att
           ~trace_out ~quiet ();
-        let before = if metrics then Observe.Metrics.snapshot () else [] in
+        let before =
+          if collect_metrics then Observe.Metrics.snapshot () else []
+        in
+        let att_before =
+          if collect_att then Observe.Attribution.snapshot () else []
+        in
         let o =
           outcome_program run_mode
             (options ~eadr ~no_coherence ~no_candidates ~variant ?max_ops
@@ -365,19 +486,36 @@ let check_cmd =
         finish_progress ();
         let r = o.Pm_harness.Runner.o_report in
         let r =
-          if metrics then
+          if collect_metrics then
             Pm_harness.Report.with_metrics r
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
-        let r = attach_coverage ~coverage ~variant p r in
+        let r = attach_coverage ~coverage:collect_coverage ~variant p r in
+        let r =
+          if collect_att then
+            Pm_harness.Report.with_attribution r
+              (Observe.Attribution.diff att_before
+                 (Observe.Attribution.snapshot ()))
+          else r
+        in
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
-        if coverage then print_endline (Pm_harness.Report.coverage_to_string r);
+        if coverage_show then
+          print_endline (Pm_harness.Report.coverage_to_string r);
+        if att_show then
+          print_endline (Pm_harness.Report.attribution_to_string r);
         write_coverage_file coverage_out;
-        if corpus_out <> None then
-          write_corpus ~corpus_out
-            [ Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o ];
+        write_attribution_file r.Pm_harness.Report.attribution attribution_out;
+        if corpus_out <> None || ledger <> None then begin
+          let ex =
+            Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
+          in
+          if corpus_out <> None then write_corpus ~corpus_out [ ex ];
+          append_ledger ~ledger ~run_label ~mode:(mode_label run_mode) ~seed
+            ~witnesses:(List.length ex.Pm_corpus.Witness.witnesses)
+            ~stats:o.Pm_harness.Runner.o_stats r
+        end;
         write_trace trace_out
   in
   let term =
@@ -386,7 +524,8 @@ let check_cmd =
       $ variant_arg $ show_benign $ eadr_flag $ no_coherence $ no_candidates
       $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
       $ fail_fast_flag $ corpus_out $ log_level_arg $ coverage_flag
-      $ coverage_out $ progress_flag $ progress_out)
+      $ coverage_out $ progress_flag $ progress_out $ attribution_flag
+      $ attribution_out $ ledger_arg $ run_label_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -428,16 +567,31 @@ let witness_cmd =
 let check_all_cmd =
   let run run_mode dmode execs jobs seed variant show_benign metrics trace_out
       quiet max_ops timeout fail_fast corpus_out log_level coverage
-      coverage_out progress progress_out =
-    let coverage = coverage || coverage_out <> None in
-    observe_setup ~log_level ~coverage ~progress ~progress_out ~metrics
-      ~trace_out ~quiet ();
-    let suite_before = if metrics then Observe.Metrics.snapshot () else [] in
+      coverage_out progress progress_out attribution attribution_out ledger
+      run_label =
+    let coverage_show = coverage || coverage_out <> None in
+    let att_show = attribution || attribution_out <> None in
+    let collect_metrics = metrics || ledger <> None in
+    let collect_coverage = coverage_show || ledger <> None in
+    let collect_att = att_show || ledger <> None in
+    observe_setup ~log_level ~coverage:collect_coverage ~progress ~progress_out
+      ~metrics:collect_metrics ~attribution:collect_att ~trace_out ~quiet ();
+    let suite_before =
+      if collect_metrics then Observe.Metrics.snapshot () else []
+    in
+    let suite_att_before =
+      if collect_att then Observe.Attribution.snapshot () else []
+    in
     let total = ref 0 in
     let extractions = ref [] in
     List.iter
       (fun (p : Pm_harness.Program.t) ->
-        let before = if metrics then Observe.Metrics.snapshot () else [] in
+        let before =
+          if collect_metrics then Observe.Metrics.snapshot () else []
+        in
+        let att_before =
+          if collect_att then Observe.Attribution.snapshot () else []
+        in
         let o =
           outcome_program run_mode
             (options ~variant ?max_ops ?max_wall_s:timeout dmode seed)
@@ -445,26 +599,46 @@ let check_all_cmd =
         in
         let r = o.Pm_harness.Runner.o_report in
         let r =
-          if metrics then
+          if collect_metrics then
             Pm_harness.Report.with_metrics r
               (Observe.Metrics.diff before (Observe.Metrics.snapshot ()))
           else r
         in
-        let r = attach_coverage ~coverage ~variant p r in
-        if corpus_out <> None then
-          extractions :=
+        let r = attach_coverage ~coverage:collect_coverage ~variant p r in
+        let r =
+          if collect_att then
+            Pm_harness.Report.with_attribution r
+              (Observe.Attribution.diff att_before
+                 (Observe.Attribution.snapshot ()))
+          else r
+        in
+        if corpus_out <> None || ledger <> None then begin
+          let ex =
             Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
-            :: !extractions;
+          in
+          if corpus_out <> None then extractions := ex :: !extractions;
+          append_ledger ~ledger ~run_label ~mode:(mode_label run_mode) ~seed
+            ~witnesses:(List.length ex.Pm_corpus.Witness.witnesses)
+            ~stats:o.Pm_harness.Runner.o_stats r
+        end;
         total := !total + List.length (Pm_harness.Report.real r);
         print_report show_benign r;
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
-        if coverage then print_endline (Pm_harness.Report.coverage_to_string r);
+        if coverage_show then
+          print_endline (Pm_harness.Report.coverage_to_string r);
+        if att_show then
+          print_endline (Pm_harness.Report.attribution_to_string r);
         print_newline ())
       Pm_benchmarks.Registry.all;
     finish_progress ();
     Printf.printf "total distinct persistency races: %d\n" !total;
     write_corpus ~corpus_out (List.rev !extractions);
     write_coverage_file coverage_out;
+    if attribution_out <> None then
+      write_attribution_file
+        (Observe.Attribution.diff suite_att_before
+           (Observe.Attribution.snapshot ()))
+        attribution_out;
     if metrics then
       print_metrics_summary ~title:"metrics summary (whole suite)"
         (Observe.Metrics.diff suite_before (Observe.Metrics.snapshot ()));
@@ -475,7 +649,8 @@ let check_all_cmd =
       const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ variant_arg
       $ show_benign $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg
       $ timeout_arg $ fail_fast_flag $ corpus_out $ log_level_arg
-      $ coverage_flag $ coverage_out $ progress_flag $ progress_out)
+      $ coverage_flag $ coverage_out $ progress_flag $ progress_out
+      $ attribution_flag $ attribution_out $ ledger_arg $ run_label_arg)
   in
   Cmd.v (Cmd.info "check-all" ~doc:"Detect persistency races across the whole suite") term
 
@@ -510,7 +685,43 @@ let profile_cmd =
     let doc = "Rows per hot-spot table." in
     Arg.(value & opt int 15 & info [ "top" ] ~doc ~docv:"N")
   in
-  let run file top =
+  let attribution =
+    let doc = "Treat $(docv) as a cost-attribution JSONL file (written by \
+               $(b,--attribution-out)) and render its jobs-invariant \
+               cost-center table instead of trace hot-spots." in
+    Arg.(value & flag & info [ "attribution" ] ~doc)
+  in
+  let run_attribution file =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | data ->
+        let lines =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' data)
+        in
+        let rec parse i acc = function
+          | [] -> Ok (List.rev acc)
+          | l :: rest -> (
+              match Pm_corpus.Json.decode_obj l with
+              | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+              | Ok fs -> (
+                  match Observe.Attribution.of_fields fs with
+                  | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+                  | Ok row -> parse (i + 1) (row :: acc) rest))
+        in
+        (match parse 1 [] lines with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 1
+        | Ok rows ->
+            print_endline (Observe.Attribution.to_string ~timing:false rows))
+  in
+  let run file top attribution =
+    if attribution then run_attribution file
+    else
     match Observe.Profile.parse_file file with
     | Error msg ->
         Printf.eprintf "%s: %s\n" file msg;
@@ -559,8 +770,9 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Aggregate a recorded trace into per-phase/per-lane self-time \
-             hot-spot tables")
-    Term.(const run $ file $ top)
+             hot-spot tables; with $(b,--attribution), render a cost-center \
+             table from an attribution JSONL file")
+    Term.(const run $ file $ top $ attribution)
 
 let bench_diff_cmd =
   let baseline =
@@ -601,6 +813,106 @@ let bench_diff_cmd =
              non-zero when the metric regresses beyond the tolerance (or a \
              baseline benchmark went missing)")
     Term.(const run $ baseline $ current $ tolerance $ metric)
+
+let runs_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER"
+           ~doc:"Run ledger (JSONL, appended by --ledger).")
+  in
+  let run file =
+    match Pm_corpus.Ledger_store.load file with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+    | Ok entries ->
+        let rows =
+          List.mapi
+            (fun i (e : Observe.Ledger.entry) ->
+              [
+                string_of_int (i + 1);
+                e.Observe.Ledger.e_run;
+                e.Observe.Ledger.e_program;
+                e.Observe.Ledger.e_variant;
+                e.Observe.Ledger.e_mode;
+                string_of_int e.Observe.Ledger.e_jobs;
+                string_of_int e.Observe.Ledger.e_scenarios;
+                string_of_int e.Observe.Ledger.e_races;
+                string_of_int e.Observe.Ledger.e_witnesses;
+                Printf.sprintf "%.2fs" e.Observe.Ledger.e_elapsed_s;
+              ])
+            entries
+        in
+        print_endline
+          (Yashme_util.Pretty.table
+             ~header:
+               [ "#"; "run"; "program"; "variant"; "mode"; "jobs";
+                 "scenarios"; "races"; "witnesses"; "elapsed" ]
+             rows);
+        let sum f =
+          List.fold_left (fun acc e -> acc + f e) 0 entries
+        in
+        let programs =
+          List.sort_uniq compare
+            (List.map (fun e -> e.Observe.Ledger.e_program) entries)
+        in
+        Printf.printf
+          "\n%d run(s) over %d program(s): %d execution(s), %d race \
+           finding(s), %d witness(es), %.2fs total wall\n"
+          (List.length entries) (List.length programs)
+          (sum (fun e -> e.Observe.Ledger.e_executions))
+          (sum (fun e -> e.Observe.Ledger.e_races))
+          (sum (fun e -> e.Observe.Ledger.e_witnesses))
+          (List.fold_left
+             (fun acc e -> acc +. e.Observe.Ledger.e_elapsed_s)
+             0. entries)
+  in
+  Cmd.v
+    (Cmd.info "runs"
+       ~doc:"List the runs recorded in a ledger file (appended by --ledger), \
+             with summary stats")
+    Term.(const run $ file)
+
+let compare_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER"
+           ~doc:"Run ledger (JSONL, appended by --ledger).")
+  in
+  let sel ~pos:p ~docv ~doc =
+    Arg.(required & pos p (some string) None & info [] ~docv ~doc)
+  in
+  let a =
+    sel ~pos:1 ~docv:"BASELINE"
+      ~doc:"Baseline run: 1-based ordinal (see $(b,yashme runs)) or unique \
+            run label."
+  in
+  let b =
+    sel ~pos:2 ~docv:"CURRENT"
+      ~doc:"Current run to judge against the baseline: ordinal or label."
+  in
+  let run file a b =
+    match Pm_corpus.Ledger_store.load file with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 2
+    | Ok entries -> (
+        match
+          ( Pm_corpus.Ledger_store.find entries a,
+            Pm_corpus.Ledger_store.find entries b )
+        with
+        | Error msg, _ | _, Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 2
+        | Ok ea, Ok eb ->
+            let c = Pm_corpus.Ledger_store.compare_runs ~baseline:ea ~current:eb in
+            print_endline (Pm_corpus.Ledger_store.render ~a_label:a ~b_label:b c);
+            if not c.Pm_corpus.Ledger_store.cmp_passed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two ledger runs counter by counter (timing fields \
+             informational only); exits non-zero on any non-timing delta or \
+             configuration mismatch")
+    Term.(const run $ file $ a $ b)
 
 let corpus_pos ~doc =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS" ~doc)
@@ -819,6 +1131,6 @@ let main =
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
     [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd;
       variants_cmd; litmus_cmd; trace_lint_cmd; profile_cmd; bench_diff_cmd;
-      replay_cmd; minimize_cmd; corpus_cmd ]
+      runs_cmd; compare_cmd; replay_cmd; minimize_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -127,6 +127,39 @@ vb=$(dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --quiet \
 echo "== profile smoke (trace -> hot-spot tables)"
 dune exec bin/yashme_cli.exe -- profile "$trace" --top 5 >/dev/null
 
+echo "== observatory smoke (--attribution invariance + ledger runs/compare)"
+att1=$(mktemp /tmp/yashme-ci-att1.XXXXXX.jsonl)
+att4=$(mktemp /tmp/yashme-ci-att4.XXXXXX.jsonl)
+ledger=$(mktemp /tmp/yashme-ci-ledger.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$corpus" "$minimized" "$merged" "$progress" "$cov1" "$cov4" "$bench_cur" "$bench_rerun" "$att1" "$att4" "$ledger"' EXIT
+rm -f "$ledger"
+# the attribution invariant projection is byte-identical across --jobs
+dune exec bin/yashme_cli.exe -- check CCEH --jobs 1 --quiet \
+  --attribution-out "$att1" >/dev/null
+dune exec bin/yashme_cli.exe -- check CCEH --jobs 4 --quiet \
+  --attribution-out "$att4" >/dev/null
+cmp "$att1" "$att4" || {
+  echo "ci: attribution export differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+# the [attribution] block names the distinct cost centers on CCEH
+out=$(dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --quiet \
+  --attribution --ledger "$ledger")
+for center in px86/snapshot_copy engine/queue_wait gc/minor; do
+  echo "$out" | grep -q "$center" || {
+    echo "ci: [attribution] block lacks cost center $center" >&2
+    echo "$out" >&2
+    exit 1
+  }
+done
+# a second identical-config run must compare with zero non-timing deltas
+dune exec bin/yashme_cli.exe -- check CCEH --jobs 2 --quiet \
+  --ledger "$ledger" >/dev/null
+dune exec bin/yashme_cli.exe -- runs "$ledger" >/dev/null
+dune exec bin/yashme_cli.exe -- trace-lint "$ledger"
+dune exec bin/yashme_cli.exe -- compare "$ledger" 1 2
+dune exec bin/yashme_cli.exe -- profile "$att1" --attribution >/dev/null
+
 echo "== bench gate (committed baseline + back-to-back run)"
 # The committed baseline must gate cleanly against a fresh run of the
 # same tree.  Throughput numbers are machine-dependent, so the

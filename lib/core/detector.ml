@@ -16,6 +16,21 @@ let m_races_benign = Metrics.counter "detector/races_benign"
 let m_pruned_coherence = Metrics.counter "detector/pruned_coherence"
 let m_pruned_persisted = Metrics.counter "detector/pruned_persisted"
 
+(* Attribution cost centers for the two detector hot paths ROADMAP
+   names as scaling suspects: clock-vector comparisons and prefix
+   expansions.  Tick-only — the charge is the occurrence count; wall
+   time is attributed at phase granularity by the executor. *)
+let ct_cv_compare = Observe.Attribution.center "detector/cv_compare"
+let ct_prefix_expansion = Observe.Attribution.center "detector/prefix_expansion"
+
+let count_cv_comparison () =
+  Metrics.incr m_cv_comparisons;
+  Observe.Attribution.tick ct_cv_compare
+
+let count_prefix_expansion () =
+  Metrics.incr m_prefix_expansions;
+  Observe.Attribution.tick ct_prefix_expansion
+
 type mode = Prefix | Baseline
 
 type t = {
@@ -120,7 +135,7 @@ let load_atomic t ~exec ~store =
   | None -> ()
   | Some r ->
       Metrics.incr m_atomic_loads;
-      Metrics.incr m_prefix_expansions;
+      count_prefix_expansion ();
       Coverage.prefix_expanded ();
       let line = Px86.Addr.line store.Px86.Event.addr in
       Exec_record.join_lastflush r ~line store.Px86.Event.cv;
@@ -140,7 +155,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
       let covered_by_coherence =
         t.dcoherence
         && begin
-             Metrics.incr m_cv_comparisons;
+             count_cv_comparison ();
              Clockvec.get store.Px86.Event.cv store.Px86.Event.tid
              <= Clockvec.get lastflush store.Px86.Event.tid
            end
@@ -151,7 +166,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
         | Prefix ->
             (* Only flushes inside the smallest consistent prefix are
                mandatory; any shorter prefix omits the others (5.1). *)
-            Metrics.incr m_cv_comparisons;
+            count_cv_comparison ();
             e.Exec_record.fe_lclk
             <= Clockvec.get (Exec_record.cvpre r) e.Exec_record.fe_tid
       in
@@ -164,7 +179,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
           (match t.dmode with
           | Baseline -> true
           | Prefix ->
-              Metrics.incr m_cv_comparisons;
+              count_cv_comparison ();
               store.Px86.Event.lclk
               <= Clockvec.get (Exec_record.cvpre r) store.Px86.Event.tid)
         else
@@ -196,7 +211,7 @@ let load_non_atomic t ~exec ~store ~load_addr ~load_size ~load_tid ~load_exec ~c
     end
   in
   if commit then begin
-    Metrics.incr m_prefix_expansions;
+    count_prefix_expansion ();
     Coverage.prefix_expanded ();
     Exec_record.join_cvpre r store.Px86.Event.cv
   end;

@@ -74,6 +74,31 @@ type verdict = {
   v_regressed : bool;
 }
 
+type better = Higher | Lower
+
+(* One metric comparison under a percentage tolerance.  [Higher] means
+   higher-is-better (throughput: regress when current drops below the
+   tolerance band); [Lower] means lower-is-better (latency, counts of
+   bad events: regress when current rises above it).  Shared with the
+   run-ledger compare, which judges counter deltas with tolerance 0. *)
+let judge ~key ~metric ?(better = Higher) ~tolerance ~baseline ~current () =
+  let delta_pct =
+    if baseline <> 0. then (current -. baseline) /. baseline *. 100. else 0.
+  in
+  let regressed =
+    match better with
+    | Higher -> current < baseline *. (1. -. (tolerance /. 100.))
+    | Lower -> current > baseline *. (1. +. (tolerance /. 100.))
+  in
+  {
+    v_key = key;
+    v_metric = metric;
+    v_baseline = baseline;
+    v_current = current;
+    v_delta_pct = delta_pct;
+    v_regressed = regressed;
+  }
+
 type outcome = {
   passed : bool;
   verdicts : verdict list;  (* baseline order *)
@@ -89,19 +114,9 @@ let diff ?(metric = "ops_per_s") ~tolerance ~baseline ~current () =
       | Some c -> (
           match (number b metric, number c metric) with
           | Some bv, Some cv ->
-              let delta_pct =
-                if bv <> 0. then (cv -. bv) /. bv *. 100. else 0.
-              in
-              let regressed = cv < bv *. (1. -. (tolerance /. 100.)) in
               verdicts :=
-                {
-                  v_key = b.e_key;
-                  v_metric = metric;
-                  v_baseline = bv;
-                  v_current = cv;
-                  v_delta_pct = delta_pct;
-                  v_regressed = regressed;
-                }
+                judge ~key:b.e_key ~metric ~better:Higher ~tolerance
+                  ~baseline:bv ~current:cv ()
                 :: !verdicts
           | _ ->
               (* metric absent on either side: fail loudly, like a

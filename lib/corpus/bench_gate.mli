@@ -33,6 +33,25 @@ type verdict = {
   v_regressed : bool;
 }
 
+(** Which direction of change is an improvement for a metric. *)
+type better = Higher | Lower
+
+(** Judge one metric comparison under a percentage [tolerance].
+    [better] defaults to [Higher] (higher-is-better, the throughput
+    convention): the verdict regresses when [current] falls below
+    [baseline * (1 - tolerance/100)]; with [Lower] it regresses when
+    [current] exceeds [baseline * (1 + tolerance/100)].  The run-ledger
+    compare ([yashme compare]) reuses this with tolerance 0. *)
+val judge :
+  key:string ->
+  metric:string ->
+  ?better:better ->
+  tolerance:float ->
+  baseline:float ->
+  current:float ->
+  unit ->
+  verdict
+
 type outcome = {
   passed : bool;
   verdicts : verdict list;  (** in baseline order *)
@@ -44,7 +63,9 @@ type outcome = {
 (** Gate [current] against [baseline].  [metric] defaults to
     ["ops_per_s"]; [tolerance] is the allowed regression in percent.
     Benchmarks only in [current] are ignored (new benchmarks don't
-    need a baseline to land). *)
+    need a baseline to land), and so are fields other than [metric]:
+    rows may carry extra metrics (e.g. GC or snapshot columns added in
+    a newer build) without disturbing an older baseline. *)
 val diff :
   ?metric:string ->
   tolerance:float ->

@@ -114,6 +114,22 @@ let m_faults = Observe.Metrics.counter "engine/faults"
 let m_recovery_failures = Observe.Metrics.counter "engine/recovery_failures"
 let m_cancelled = Observe.Metrics.counter "engine/cancelled"
 
+(* Worker-pool cost centers.  Counts and charged units are
+   jobs-invariant (one queue-wait charge per claimed scenario, one work
+   charge per scenario with the scenario's execution count as units);
+   wall clocks are scheduling-dependent and the GC word deltas are
+   volatile — [Gc.quick_stat] counters are flushed globally at minor
+   collections, so a per-domain delta absorbs allocation from whichever
+   domains happened to run concurrently. *)
+let ct_queue_wait = Observe.Attribution.center "engine/queue_wait"
+let ct_work = Observe.Attribution.center ~units:"execs" "engine/work"
+
+let ct_gc_minor =
+  Observe.Attribution.center ~units:"words" ~volatile_units:true "gc/minor"
+
+let ct_gc_major =
+  Observe.Attribution.center ~units:"words" ~volatile_units:true "gc/major"
+
 let run_scenario (s : Scenario.t) =
   let open Scenario in
   let t0 = now () in
@@ -392,11 +408,19 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
       ~args:[ ("slot", string_of_int slot) ]
       "worker"
       (fun () ->
+        let att = Observe.Attribution.is_enabled () in
+        let idle_since = ref (if att then Observe.Trace.now_us () else 0) in
         let rec loop () =
           if not (Atomic.get stop) then begin
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
+              if att then
+                Observe.Attribution.charge ct_queue_wait ~count:1
+                  ~wall_us:(Observe.Trace.now_us () - !idle_since)
+                  ();
               let s = arr.(i) in
+              let gc0 = if att then Some (Gc.quick_stat ()) else None in
+              let w0 = if att then Observe.Trace.now_us () else 0 in
               let r =
                 Observe.Span.with_ ~cat:"scenario"
                   ~args:
@@ -408,6 +432,29 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
                   s.Scenario.label
                   (fun () -> run_scenario s)
               in
+              if att then begin
+                let w1 = Observe.Trace.now_us () in
+                let execs =
+                  match r with
+                  | Completed c -> c.executions
+                  | Faulted f -> f.f_executions
+                in
+                Observe.Attribution.charge ct_work ~count:1 ~units:execs
+                  ~wall_us:(w1 - w0) ();
+                (match gc0 with
+                | Some g0 ->
+                    let g1 = Gc.quick_stat () in
+                    Observe.Attribution.charge ct_gc_minor ~count:1
+                      ~units:
+                        (int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words))
+                      ();
+                    Observe.Attribution.charge ct_gc_major ~count:1
+                      ~units:
+                        (int_of_float (g1.Gc.major_words -. g0.Gc.major_words))
+                      ()
+                | None -> ());
+                idle_since := w1
+              end;
               out.(i) <- Some r;
               (match r with
               | Completed c ->

@@ -32,6 +32,10 @@ type t = {
       (* crash-space coverage attributed to this report (attached by
          the CLI under --coverage); excluded from [pp]/[to_string] for
          the same byte-identity reason — rendered by [pp_coverage] *)
+  attribution : Observe.Attribution.row list;
+      (* cost-center rows attributed to this report (attached by the
+         CLI under --attribution / --ledger); excluded from
+         [pp]/[to_string] — rendered by [pp_attribution] *)
 }
 
 let m_duplicates = Observe.Metrics.counter "report/duplicate_races"
@@ -90,10 +94,12 @@ let dedup ~program ?(variant = Px86.Variant.default_label) ~executions
     diverged;
     metrics = [];
     coverage = None;
+    attribution = [];
   }
 
 let with_metrics t metrics = { t with metrics }
 let with_coverage t coverage = { t with coverage = Some coverage }
+let with_attribution t attribution = { t with attribution }
 
 let real t = List.filter (fun f -> not f.benign) t.findings
 let benign t = List.filter (fun f -> f.benign) t.findings
@@ -154,3 +160,10 @@ let pp_coverage ppf t =
   | Some c -> Observe.Coverage.pp ppf c
 
 let coverage_to_string t = Format.asprintf "%a" pp_coverage t
+
+let pp_attribution ppf t =
+  if t.attribution = [] then
+    Format.fprintf ppf "[attribution] %s: (not recorded)" t.program
+  else Observe.Attribution.pp ppf t.attribution
+
+let attribution_to_string t = Format.asprintf "%a" pp_attribution t

@@ -53,6 +53,11 @@ type t = {
       (** crash-space coverage attributed to this report ([None]
           unless attached with {!with_coverage}).  Never rendered by
           {!pp}/{!to_string} for the same byte-identity reason. *)
+  attribution : Observe.Attribution.row list;
+      (** per-scenario cost-center rows attributed to this report
+          (empty unless attached with {!with_attribution}).  Never
+          rendered by {!pp}/{!to_string} for the same byte-identity
+          reason — rendered by {!pp_attribution}. *)
 }
 
 (** Deduplicate raw races by field label and [faults] (submission
@@ -76,6 +81,10 @@ val with_metrics : t -> (string * int) list -> t
 (** Attach the program's crash-space coverage
     ({!Observe.Coverage.find}). *)
 val with_coverage : t -> Observe.Coverage.stats -> t
+
+(** Attach cost-attribution rows (an {!Observe.Attribution.diff}
+    covering this report's run). *)
+val with_attribution : t -> Observe.Attribution.row list -> t
 
 (** Real (non-benign) findings. *)
 val real : t -> finding list
@@ -105,3 +114,10 @@ val metrics_to_string : t -> string
 val pp_coverage : Format.formatter -> t -> unit
 
 val coverage_to_string : t -> string
+
+(** Render the attached [\[attribution\]] cost-center table
+    ({!Observe.Attribution.pp}, wall clocks included), or a
+    ["(not recorded)"] placeholder when none is attached. *)
+val pp_attribution : Format.formatter -> t -> unit
+
+val attribution_to_string : t -> string

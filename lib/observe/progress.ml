@@ -56,7 +56,10 @@ let emit ~now =
   let elapsed_s = now -. st.t0 in
   let rate = rate_of ~elapsed_s ~finished:st.finished in
   let eta_s = eta_of ~rate ~remaining:(st.total - st.finished) in
-  if st.heartbeat then begin
+  (* The heartbeat is stderr chatter like any log line: level [off]
+     (--quiet) silences it.  The JSONL stream is machine-facing and
+     unaffected. *)
+  if st.heartbeat && not (Log.quiet ()) then begin
     let pct =
       if st.total > 0 then 100. *. float_of_int st.finished /. float_of_int st.total
       else 0.

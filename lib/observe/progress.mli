@@ -14,7 +14,9 @@
 
 (** Reset counters and begin emitting.  [interval_s] (default 0.5)
     throttles emissions; [heartbeat] (default true) prints the stderr
-    line; [jsonl] opens a JSONL stream at the given path. *)
+    line — suppressed while {!Log.quiet} holds (log level [off]), like
+    any other stderr chatter; [jsonl] opens a JSONL stream at the given
+    path, unaffected by the log level. *)
 val start : ?interval_s:float -> ?heartbeat:bool -> ?jsonl:string -> unit -> unit
 
 val is_active : unit -> bool

@@ -17,18 +17,46 @@ let boot () =
     heap_break = Addr.line_size (* keep line 0 for runtime metadata *);
   }
 
+let ct_copy = Observe.Attribution.center ~units:"bytes" "px86/snapshot_copy"
+let m_copies = Observe.Metrics.counter "px86/snapshot_copies"
+let m_bytes = Observe.Metrics.counter "px86/snapshot_bytes"
+
+(* Size of what [copy] duplicates: the image's backing bytes plus a
+   fixed per-entry charge for the two index tables.  Both are
+   deterministic functions of the committed store history, so the
+   charge is jobs-invariant.  The 16-byte entry charge is nominal
+   (word-sized key + pointer), not a measured heap layout: the point is
+   a stable, comparable magnitude, not allocator truth. *)
+let copy_cost t =
+  Memimage.footprint t.image
+  + (16 * (Hashtbl.length t.origins + Hashtbl.length t.cands))
+
 (* The [Event.store] records reachable through [origins]/[cands] are
    frozen once committed (their [seq] is assigned at cache commit, before
    they can enter a crash state), so sharing them between the copy and
    the original is safe even across domains. *)
 let copy t =
-  {
-    exec_id = t.exec_id;
-    image = Memimage.copy t.image;
-    origins = Hashtbl.copy t.origins;
-    cands = Hashtbl.copy t.cands;
-    heap_break = t.heap_break;
-  }
+  let observing =
+    Observe.Attribution.is_enabled () || Observe.Metrics.is_enabled ()
+  in
+  let t0 = if observing then Observe.Trace.now_us () else 0 in
+  let c =
+    {
+      exec_id = t.exec_id;
+      image = Memimage.copy t.image;
+      origins = Hashtbl.copy t.origins;
+      cands = Hashtbl.copy t.cands;
+      heap_break = t.heap_break;
+    }
+  in
+  if observing then begin
+    let bytes = copy_cost t in
+    Observe.Metrics.incr m_copies;
+    Observe.Metrics.add m_bytes bytes;
+    Observe.Attribution.charge ct_copy ~count:1 ~units:bytes
+      ~wall_us:(Observe.Trace.now_us () - t0) ()
+  end;
+  c
 
 let find_origin t ~addr ~size =
   let rec scan i best distinct =

@@ -27,8 +27,17 @@ val boot : unit -> t
 (** A snapshot that shares no mutable structure with [t]: the byte image
     and both index tables are duplicated, so executions seeded from the
     copy (possibly on another domain) can never mutate the original.
-    The immutable committed [Event.store] records are shared. *)
+    The immutable committed [Event.store] records are shared.
+
+    Instrumented: when metrics or attribution are enabled, each copy
+    charges {!copy_cost} bytes to the [px86/snapshot_copy] cost center
+    and the [px86/snapshot_copies]/[px86/snapshot_bytes] counters. *)
 val copy : t -> t
+
+(** Bytes {!copy} duplicates: image backing bytes plus a nominal
+    16-byte charge per index-table entry.  Deterministic for a given
+    store history, hence jobs-invariant. *)
+val copy_cost : t -> int
 
 (** Origin of a load of [[addr, addr+size)]: the newest writer among the
     bytes' origins, and whether the bytes mix several writers (a torn

@@ -55,3 +55,5 @@ let blit_line ~src ~dst line =
   if base + Addr.line_size > dst.extent then dst.extent <- base + Addr.line_size
 
 let extent t = t.extent
+
+let footprint t = Bytes.length t.data

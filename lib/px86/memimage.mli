@@ -20,3 +20,9 @@ val blit_line : src:t -> dst:t -> int -> unit
 
 (** Highest written address + 1 (0 for a fresh image). *)
 val extent : t -> int
+
+(** Allocated backing bytes (>= {!extent}; capacity doubles
+    deterministically from a fixed initial size, so two equal write
+    sequences have equal footprints).  What {!copy} duplicates — the
+    snapshot-cost accounting unit. *)
+val footprint : t -> int

@@ -64,6 +64,16 @@ let phase_counters phase =
 let all_phase_counters =
   [| phase_counters "setup"; phase_counters "pre"; phase_counters "post" |]
 
+(* Per-phase wall-clock/op attribution: one charge per [run], count 1,
+   units = memory ops executed.  Counts and ops are deterministic; the
+   wall column is volatile by nature (see Observe.Attribution). *)
+let att_phase_centers =
+  [|
+    Observe.Attribution.center ~units:"ops" "phase/setup";
+    Observe.Attribution.center ~units:"ops" "phase/pre";
+    Observe.Attribution.center ~units:"ops" "phase/post";
+  |]
+
 let phase_of_exec_id exec_id = if exec_id <= 0 then 0 else if exec_id = 1 then 1 else 2
 let phase_name exec_id = [| "setup"; "pre"; "post" |].(phase_of_exec_id exec_id)
 
@@ -462,6 +472,8 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
   let span_t0 =
     if Observe.Trace.recording () then Some (Observe.Trace.now_us ()) else None
   in
+  let att = Observe.Attribution.is_enabled () in
+  let att_t0 = if att then Observe.Trace.now_us () else 0 in
   let rng = Rng.create seed in
   let observer =
     match detector with
@@ -547,6 +559,11 @@ let run ?detector ?inherited ?(plan = Run_to_end) ?(sb_policy = Machine.Eager)
           (cs, Completed)
   in
   Metrics.observe h_ops st.ops;
+  if att then
+    Observe.Attribution.charge att_phase_centers.(phase_of_exec_id exec_id)
+      ~count:1 ~units:st.ops
+      ~wall_us:(Observe.Trace.now_us () - att_t0)
+      ();
   (match span_t0 with
   | Some ts ->
       Observe.Trace.complete ~cat:"executor"
