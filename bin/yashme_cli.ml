@@ -3,6 +3,7 @@
    yashme list                          enumerate benchmark programs
    yashme check BENCH [--mode ...]      run the detector on one program
    yashme check-all [--mode ...]        run it on the whole suite
+   yashme soak [STREAM...]              long-running randomized crash-testing service
    yashme replay CORPUS                 re-run recorded witnesses (regression gate)
    yashme minimize CORPUS               ddmin-shrink recorded witnesses
    yashme corpus merge|stats            manage witness corpora
@@ -238,21 +239,18 @@ let finish_progress () = ignore (Observe.Progress.stop ())
 
 (* The merged coverage snapshot as JSONL: one flat object per program,
    through the corpus codec so field order and number rendering are
-   deterministic. *)
+   deterministic.  Written crash-safely (tmp + atomic rename) like
+   every other file the driver emits. *)
 let write_coverage_file = function
   | None -> ()
   | Some file ->
       let stats = Observe.Coverage.snapshot () in
-      let oc = open_out file in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          List.iter
-            (fun s ->
-              output_string oc
-                (Pm_corpus.Json.encode_obj (Observe.Coverage.fields s));
-              output_char oc '\n')
-            stats);
+      Yashme_util.Atomic_file.write file
+        (String.concat ""
+           (List.map
+              (fun s ->
+                Pm_corpus.Json.encode_obj (Observe.Coverage.fields s) ^ "\n")
+              stats));
       Printf.printf "coverage: %d program(s) written to %s\n" (List.length stats)
         file
 
@@ -267,20 +265,17 @@ let attach_coverage ~coverage ~variant (p : Pm_harness.Program.t) r =
     | None -> r
 
 (* The jobs-invariant attribution projection as JSONL, one flat object
-   per cost center, through the corpus codec (like coverage-out). *)
+   per cost center, through the corpus codec (like coverage-out).
+   Also crash-safe via tmp + atomic rename. *)
 let write_attribution_file rows = function
   | None -> ()
   | Some file ->
-      let oc = open_out file in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          List.iter
-            (fun r ->
-              output_string oc
-                (Pm_corpus.Json.encode_obj (Observe.Attribution.fields r));
-              output_char oc '\n')
-            rows);
+      Yashme_util.Atomic_file.write file
+        (String.concat ""
+           (List.map
+              (fun r ->
+                Pm_corpus.Json.encode_obj (Observe.Attribution.fields r) ^ "\n")
+              rows));
       Printf.printf "attribution: %d cost center(s) written to %s\n"
         (List.length rows) file
 
@@ -369,10 +364,12 @@ let outcome_program run_mode opts ~jobs ~fail_fast execs (p : Pm_harness.Program
       Pm_harness.Runner.random_mode_outcome ~options:opts ~jobs ~fail_fast ~execs p
 
 (* Replay/minimize rebuild scenarios by registry name; demos are
-   findable too, so corpora recorded from them replay as well. *)
+   findable too, so corpora recorded from them replay as well.  Soak
+   witnesses carry encoded "soak:STREAM:MIX:DIST:OPS:SEED" names and
+   rebuild through the soak stream registry. *)
 let lookup name =
   match Pm_benchmarks.Registry.find name with
-  | exception Not_found -> None
+  | exception Not_found -> Pm_benchmarks.Registry.find_soak_program name
   | p -> Some p
 
 let write_corpus ~corpus_out extractions =
@@ -1126,10 +1123,356 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print the static tables (1, 2a, 2b)")
     Term.(const run $ const ())
 
+let soak_cmd =
+  let streams_pos =
+    Arg.(value & pos_all string [] & info [] ~docv:"STREAM"
+           ~doc:"Op streams to soak (default: memcached, redis and cceh; \
+                 $(b,demo-storm) is findable too, for quarantine demos).")
+  in
+  let soak_max_ops =
+    let doc = "Total client-op budget: stop the service (soak_ok) once \
+               $(docv) randomized client operations have been streamed.  \
+               Deterministic: the same budget stops at the same round on \
+               every run and every --jobs count." in
+    Arg.(value & opt (some int) None & info [ "max-ops" ] ~doc ~docv:"N")
+  in
+  let wall_s_arg =
+    let doc = "Wall-clock budget for this invocation, in seconds, checked at \
+               round boundaries.  Stopping is still clean (soak_ok) but the \
+               stop point is nondeterministic; prefer --max-ops when runs \
+               must be comparable." in
+    Arg.(value & opt (some float) None & info [ "wall-s" ] ~doc ~docv:"SECONDS")
+  in
+  let fault_budget_arg =
+    let doc = "Faulted scenarios tolerated per (stream x mix x distribution) \
+               combo before it is quarantined: the service logs the combo, \
+               stops scheduling it and keeps soaking the rest instead of \
+               aborting on a fault storm." in
+    Arg.(value & opt int 3 & info [ "fault-budget" ] ~doc ~docv:"N")
+  in
+  let ops_per_exec_arg =
+    let doc = "Randomized client operations streamed per failure scenario." in
+    Arg.(value & opt int 24 & info [ "ops-per-exec" ] ~doc ~docv:"N")
+  in
+  let checkpoint_every_arg =
+    let doc = "Rounds between periodic checkpoints (corpus + manifest, both \
+               written crash-safely via tmp + atomic rename); 0 disables \
+               periodic checkpoints (the final flush still happens)." in
+    Arg.(value & opt int 10 & info [ "checkpoint-every" ] ~doc ~docv:"ROUNDS")
+  in
+  let manifest_arg =
+    let doc = "Write the versioned run manifest to $(docv) (one flat JSON \
+               line: seed, budgets, variant, snapshot, coverage digest, \
+               soak_ok marker).  Updated at every checkpoint and at exit; \
+               resume from it with $(b,--resume)." in
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~doc ~docv:"FILE")
+  in
+  let resume_arg =
+    let doc = "Resume from a checkpoint manifest: configuration (streams, \
+               seed, variant, budgets) is taken from $(docv), the checkpoint \
+               corpus is preloaded, and rounds continue from the recorded \
+               snapshot with identical derived seeds — the resumed run \
+               produces the same witnesses the uninterrupted run would have." in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"MANIFEST")
+  in
+  let stop_after_arg =
+    let doc = "Cooperatively stop after $(docv) rounds of this invocation, as \
+               if SIGINT had arrived (flushes a final checkpoint with \
+               soak_ok=false).  For tests and CI resume exercises." in
+    Arg.(value & opt (some int) None & info [ "stop-after" ] ~doc ~docv:"ROUNDS")
+  in
+  let stream_names streams =
+    List.map (fun s -> s.Pm_harness.Soak.os_name) streams
+  in
+  let resolve_streams names =
+    List.map
+      (fun n ->
+        match Pm_benchmarks.Registry.find_soak_stream n with
+        | Some s -> s
+        | None ->
+            Printf.eprintf
+              "unknown soak stream %S (try memcached, redis, cceh or demo-storm)\n"
+              n;
+            exit 1)
+      names
+  in
+  (* All coverage buckets are combo labels (seed-free), so the digest
+     stays bounded and two same-seed runs digest identically. *)
+  let coverage_digest () =
+    match Observe.Coverage.snapshot () with
+    | [] -> ""
+    | stats ->
+        Observe.Ledger.digest_string
+          (String.concat "\n"
+             (List.map
+                (fun s ->
+                  Pm_corpus.Json.encode_obj (Observe.Coverage.fields s))
+                stats))
+  in
+  let go ~streams ~seed ~variant ~jobs ~ops_per_exec ~fault_budget ~max_ops
+      ~wall_s ~checkpoint_every ~manifest_path ~corpus_path ~resume_snapshot
+      ~preload ~stop_after ~quiet ~log_level ~progress ~progress_out
+      ~coverage_out ~attribution_out ~ledger ~run_label ~trace_out =
+    let collect_metrics = ledger <> None in
+    let collect_att = attribution_out <> None || ledger <> None in
+    observe_setup ~log_level ~coverage:true ~progress ~progress_out
+      ~metrics:collect_metrics ~attribution:collect_att ~trace_out ~quiet ();
+    let before = if collect_metrics then Observe.Metrics.snapshot () else [] in
+    let att_before =
+      if collect_att then Observe.Attribution.snapshot () else []
+    in
+    let sink = Pm_corpus.Soak_store.sink () in
+    Pm_corpus.Soak_store.preload sink preload;
+    let run_name =
+      Option.value run_label
+        ~default:("soak:" ^ String.concat "," (stream_names streams))
+    in
+    let cfg =
+      {
+        (Pm_harness.Soak.default_config ~streams) with
+        Pm_harness.Soak.sk_options =
+          { Pm_harness.Scenario.default_options with seed; variant };
+        sk_jobs = jobs;
+        sk_ops_per_exec = ops_per_exec;
+        sk_fault_budget = fault_budget;
+        sk_max_ops = max_ops;
+        sk_wall_s = wall_s;
+        sk_checkpoint_every = checkpoint_every;
+      }
+    in
+    let manifest_of ~soak_ok ~stopped ~elapsed snap =
+      {
+        Pm_corpus.Soak_store.m_run = run_name;
+        m_streams = stream_names streams;
+        m_seed = seed;
+        m_variant = Px86.Variant.label variant;
+        m_jobs = jobs;
+        m_ops_per_exec = ops_per_exec;
+        m_fault_budget = fault_budget;
+        m_max_ops = max_ops;
+        m_wall_s = wall_s;
+        m_checkpoint_every = checkpoint_every;
+        m_corpus = Option.value corpus_path ~default:"";
+        m_snapshot = snap;
+        m_witnesses = List.length (Pm_corpus.Soak_store.witnesses sink);
+        m_raw = Pm_corpus.Soak_store.raw sink;
+        m_duplicates = Pm_corpus.Soak_store.duplicates sink;
+        m_coverage_digest = coverage_digest ();
+        m_soak_ok = soak_ok;
+        m_stopped = stopped;
+        m_ts = Unix.gettimeofday ();
+        m_elapsed_s = elapsed;
+      }
+    in
+    (* One checkpoint = corpus (only once non-empty) + manifest, each
+       atomic, corpus first so a manifest never references witnesses
+       that were not yet durable. *)
+    let flush ~soak_ok ~stopped ~elapsed snap =
+      (match corpus_path with
+      | Some file ->
+          let ws = Pm_corpus.Soak_store.witnesses sink in
+          if ws <> [] then Pm_corpus.Corpus.save file ws
+      | None -> ());
+      match manifest_path with
+      | Some file ->
+          Pm_corpus.Soak_store.save file
+            (manifest_of ~soak_ok ~stopped ~elapsed snap)
+      | None -> ()
+    in
+    let t_start = Unix.gettimeofday () in
+    let rounds = ref 0 in
+    let on_batch triples =
+      Pm_corpus.Soak_store.absorb sink triples;
+      incr rounds;
+      match stop_after with
+      | Some n when !rounds >= n -> Pm_harness.Soak.request_stop ()
+      | _ -> ()
+    in
+    let on_checkpoint snap =
+      flush ~soak_ok:false ~stopped:"running"
+        ~elapsed:(Unix.gettimeofday () -. t_start)
+        snap
+    in
+    let prev =
+      Sys.signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> Pm_harness.Soak.request_stop ()))
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Sys.set_signal Sys.sigint prev)
+        (fun () ->
+          Pm_harness.Soak.run ?resume:resume_snapshot ~on_batch ~on_checkpoint
+            cfg)
+    in
+    finish_progress ();
+    let reason = Pm_harness.Soak.stop_reason_label result.Pm_harness.Soak.r_reason in
+    flush ~soak_ok:result.Pm_harness.Soak.r_ok ~stopped:reason
+      ~elapsed:result.Pm_harness.Soak.r_elapsed_s
+      result.Pm_harness.Soak.r_snapshot;
+    let snap = result.Pm_harness.Soak.r_snapshot in
+    let ws = Pm_corpus.Soak_store.witnesses sink in
+    let race_ws =
+      List.length
+        (List.filter
+           (fun w -> w.Pm_corpus.Witness.kind = Pm_corpus.Witness.Race)
+           ws)
+    in
+    Printf.printf
+      "soak %s: stopped (%s) after %d round(s): %d scenario(s), %d client \
+       op(s), %d execution(s)\n"
+      run_name reason snap.Pm_harness.Soak.snap_next_round
+      snap.Pm_harness.Soak.snap_scenarios snap.Pm_harness.Soak.snap_client_ops
+      snap.Pm_harness.Soak.snap_executions;
+    Printf.printf
+      "  %d raw race observation(s) -> %d witness(es) (%d race, %d \
+       recovery-failure); %d faulted, %d diverged\n"
+      snap.Pm_harness.Soak.snap_races (List.length ws) race_ws
+      (List.length ws - race_ws) snap.Pm_harness.Soak.snap_faulted
+      snap.Pm_harness.Soak.snap_diverged;
+    List.iter
+      (fun b ->
+        if b.Pm_harness.Soak.bs_quarantined then
+          Printf.printf "  [quarantined] %s (%d fault(s))\n"
+            b.Pm_harness.Soak.bs_combo b.Pm_harness.Soak.bs_faults)
+      snap.Pm_harness.Soak.snap_buckets;
+    (match corpus_path with
+    | Some file when ws <> [] ->
+        Printf.printf "corpus: %d witness(es) written to %s\n" (List.length ws)
+          file
+    | _ -> ());
+    (match manifest_path with
+    | Some file -> Printf.printf "manifest: %s\n" file
+    | None -> ());
+    Printf.printf "soak_ok: %b\n" result.Pm_harness.Soak.r_ok;
+    write_coverage_file coverage_out;
+    if collect_att then
+      write_attribution_file
+        (Observe.Attribution.diff att_before (Observe.Attribution.snapshot ()))
+        attribution_out;
+    (match ledger with
+    | None -> ()
+    | Some file ->
+        let entry =
+          {
+            Observe.Ledger.e_version = Observe.Ledger.version;
+            e_run = run_name;
+            e_ts = Unix.gettimeofday ();
+            e_program = run_name;
+            e_variant = Px86.Variant.label variant;
+            e_mode = "soak";
+            e_jobs = jobs;
+            e_seed = seed;
+            e_scenarios = snap.Pm_harness.Soak.snap_scenarios;
+            e_completed = snap.Pm_harness.Soak.snap_completed;
+            e_faulted = snap.Pm_harness.Soak.snap_faulted;
+            e_diverged = snap.Pm_harness.Soak.snap_diverged;
+            e_executions = snap.Pm_harness.Soak.snap_executions;
+            e_ops = snap.Pm_harness.Soak.snap_ops;
+            e_races = race_ws;
+            e_benign = 0;
+            e_raw_races = snap.Pm_harness.Soak.snap_races;
+            e_recovery_failures = List.length ws - race_ws;
+            e_witnesses = List.length ws;
+            e_elapsed_s = result.Pm_harness.Soak.r_elapsed_s;
+            e_cpu_s = 0.;
+            e_metrics_digest =
+              Observe.Ledger.digest_counters
+                (Observe.Metrics.diff before (Observe.Metrics.snapshot ()));
+            e_coverage_digest = coverage_digest ();
+            e_cost =
+              Observe.Ledger.costs_of_rows
+                (if collect_att then
+                   Observe.Attribution.diff att_before
+                     (Observe.Attribution.snapshot ())
+                 else []);
+          }
+        in
+        Pm_corpus.Ledger_store.append file entry;
+        Printf.printf "ledger: run %S appended to %s\n" run_name file);
+    write_trace trace_out;
+    if not result.Pm_harness.Soak.r_ok then exit 1
+  in
+  let run streams_pos seed jobs variant max_ops wall_s fault_budget
+      ops_per_exec checkpoint_every manifest_path resume stop_after corpus_out
+      quiet log_level progress progress_out coverage_out attribution_out
+      ledger run_label trace_out =
+    match resume with
+    | None ->
+        let names =
+          if streams_pos = [] then
+            stream_names Pm_benchmarks.Registry.soak_streams
+          else streams_pos
+        in
+        go ~streams:(resolve_streams names) ~seed ~variant ~jobs ~ops_per_exec
+          ~fault_budget ~max_ops ~wall_s ~checkpoint_every ~manifest_path
+          ~corpus_path:corpus_out ~resume_snapshot:None ~preload:[] ~stop_after
+          ~quiet ~log_level ~progress ~progress_out ~coverage_out
+          ~attribution_out ~ledger ~run_label ~trace_out
+    | Some mf_path -> (
+        match Pm_corpus.Soak_store.load mf_path with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        | Ok m ->
+            let variant =
+              match Px86.Variant.of_label m.Pm_corpus.Soak_store.m_variant with
+              | Some v -> v
+              | None ->
+                  Printf.eprintf "%s: unknown variant %S in manifest\n" mf_path
+                    m.Pm_corpus.Soak_store.m_variant;
+                  exit 1
+            in
+            (* Configuration comes from the manifest — a resumed run is
+               the same run.  Its corpus is preloaded so the dedup sink
+               suppresses re-observations, only when the manifest says
+               witnesses were actually written. *)
+            let preload =
+              if
+                m.Pm_corpus.Soak_store.m_witnesses > 0
+                && m.Pm_corpus.Soak_store.m_corpus <> ""
+              then load_corpus_or_exit m.Pm_corpus.Soak_store.m_corpus
+              else []
+            in
+            go
+              ~streams:(resolve_streams m.Pm_corpus.Soak_store.m_streams)
+              ~seed:m.Pm_corpus.Soak_store.m_seed ~variant
+              ~jobs:m.Pm_corpus.Soak_store.m_jobs
+              ~ops_per_exec:m.Pm_corpus.Soak_store.m_ops_per_exec
+              ~fault_budget:m.Pm_corpus.Soak_store.m_fault_budget
+              ~max_ops:m.Pm_corpus.Soak_store.m_max_ops
+              ~wall_s:m.Pm_corpus.Soak_store.m_wall_s
+              ~checkpoint_every:m.Pm_corpus.Soak_store.m_checkpoint_every
+              ~manifest_path:(Some mf_path)
+              ~corpus_path:
+                (if m.Pm_corpus.Soak_store.m_corpus = "" then corpus_out
+                 else Some m.Pm_corpus.Soak_store.m_corpus)
+              ~resume_snapshot:(Some m.Pm_corpus.Soak_store.m_snapshot)
+              ~preload ~stop_after ~quiet ~log_level ~progress ~progress_out
+              ~coverage_out ~attribution_out ~ledger
+              ~run_label:(Some m.Pm_corpus.Soak_store.m_run)
+              ~trace_out)
+  in
+  let term =
+    Term.(
+      const run $ streams_pos $ seed $ jobs $ variant_arg $ soak_max_ops
+      $ wall_s_arg $ fault_budget_arg $ ops_per_exec_arg
+      $ checkpoint_every_arg $ manifest_arg $ resume_arg $ stop_after_arg
+      $ corpus_out $ quiet_flag $ log_level_arg $ progress_flag $ progress_out
+      $ coverage_out $ attribution_out $ ledger_arg $ run_label_arg
+      $ trace_out)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Long-running crash-testing service: stream randomized client \
+             ops through continuous crash/recover cycles under hard budgets, \
+             with crash-safe checkpoint/resume, per-combo fault quarantine \
+             and clean SIGINT handling")
+    term
+
 let main =
   let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
-    [ list_cmd; check_cmd; check_all_cmd; tables_cmd; witness_cmd;
+    [ list_cmd; check_cmd; check_all_cmd; soak_cmd; tables_cmd; witness_cmd;
       variants_cmd; litmus_cmd; trace_lint_cmd; profile_cmd; bench_diff_cmd;
       runs_cmd; compare_cmd; replay_cmd; minimize_cmd; corpus_cmd ]
 

@@ -160,6 +160,79 @@ dune exec bin/yashme_cli.exe -- trace-lint "$ledger"
 dune exec bin/yashme_cli.exe -- compare "$ledger" 1 2
 dune exec bin/yashme_cli.exe -- profile "$att1" --attribution >/dev/null
 
+echo "== soak smoke (budgets + checkpoint/resume + quarantine)"
+soak_m1=$(mktemp /tmp/yashme-ci-soak-m1.XXXXXX.jsonl)
+soak_m2=$(mktemp /tmp/yashme-ci-soak-m2.XXXXXX.jsonl)
+soak_c1=$(mktemp /tmp/yashme-ci-soak-c1.XXXXXX.jsonl)
+soak_c2=$(mktemp /tmp/yashme-ci-soak-c2.XXXXXX.jsonl)
+soak_mr=$(mktemp /tmp/yashme-ci-soak-mr.XXXXXX.jsonl)
+soak_cr=$(mktemp /tmp/yashme-ci-soak-cr.XXXXXX.jsonl)
+soak_prog=$(mktemp /tmp/yashme-ci-soak-prog.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$corpus" "$minimized" "$merged" "$progress" "$cov1" "$cov4" "$bench_cur" "$bench_rerun" "$att1" "$att4" "$ledger" "$soak_m1" "$soak_m2" "$soak_c1" "$soak_c2" "$soak_mr" "$soak_cr" "$soak_prog" ${soak_m1}.s ${soak_m2}.s' EXIT
+# A budgeted soak run must stop cleanly (soak_ok=true) with a
+# manifest and progress stream the existing JSONL codec accepts.
+dune exec bin/yashme_cli.exe -- soak cceh --seed 7 --max-ops 1200 --jobs 2 \
+  --manifest "$soak_m1" --corpus-out "$soak_c1" --progress-out "$soak_prog" \
+  --quiet >/dev/null
+grep -q '"soak_ok":true' "$soak_m1" || {
+  echo "ci: budgeted soak run did not end soak_ok=true" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- trace-lint "$soak_m1"
+dune exec bin/yashme_cli.exe -- trace-lint "$soak_prog"
+# Same seed, same budget: witnesses byte-identical, manifests
+# identical modulo the timing stamps and the corpus path.
+dune exec bin/yashme_cli.exe -- soak cceh --seed 7 --max-ops 1200 --jobs 2 \
+  --manifest "$soak_m2" --corpus-out "$soak_c2" --quiet >/dev/null
+cmp "$soak_c1" "$soak_c2" || {
+  echo "ci: same-seed soak runs wrote different corpora" >&2
+  exit 1
+}
+strip_soak_manifest() {
+  sed -E 's/"ts":[0-9.eE+-]+//; s/"elapsed_s":[0-9.eE+-]+//; s/"corpus":"[^"]*"//' "$1"
+}
+strip_soak_manifest "$soak_m1" > "${soak_m1}.s"
+strip_soak_manifest "$soak_m2" > "${soak_m2}.s"
+cmp "${soak_m1}.s" "${soak_m2}.s" || {
+  echo "ci: same-seed soak manifests differ beyond timing fields" >&2
+  exit 1
+}
+# Soak witnesses replay through the ordinary corpus machinery.
+dune exec bin/yashme_cli.exe -- replay "$soak_c1" --quiet
+# Interrupt mid-soak (the SIGINT-equivalent cooperative stop), then
+# resume from the checkpoint: the run must reach the exact witness
+# bytes of the uninterrupted run.
+dune exec bin/yashme_cli.exe -- soak cceh --seed 7 --max-ops 1200 --jobs 2 \
+  --manifest "$soak_mr" --corpus-out "$soak_cr" --stop-after 3 --quiet \
+  >/dev/null || true
+grep -q '"soak_ok":false' "$soak_mr" || {
+  echo "ci: interrupted soak run did not checkpoint soak_ok=false" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- soak --resume "$soak_mr" --quiet >/dev/null
+grep -q '"soak_ok":true' "$soak_mr" || {
+  echo "ci: resumed soak run did not end soak_ok=true" >&2
+  exit 1
+}
+cmp "$soak_c1" "$soak_cr" || {
+  echo "ci: resumed soak corpus differs from the uninterrupted run" >&2
+  exit 1
+}
+# A fault storm (demo-storm's crashing delete handler) must be
+# quarantined, not fatal: the run still reaches its budget.
+out=$(dune exec bin/yashme_cli.exe -- soak demo-storm --seed 7 \
+  --max-ops 800 --quiet)
+echo "$out" | grep -q "soak_ok: true" || {
+  echo "ci: fault-storm soak run did not survive to its budget" >&2
+  echo "$out" >&2
+  exit 1
+}
+echo "$out" | grep -q "quarantined" || {
+  echo "ci: fault-storm soak run quarantined nothing" >&2
+  echo "$out" >&2
+  exit 1
+}
+
 echo "== bench gate (committed baseline + back-to-back run)"
 # The committed baseline must gate cleanly against a fresh run of the
 # same tree.  Throughput numbers are machine-dependent, so the

@@ -186,6 +186,34 @@ let scan t =
   done;
   List.sort compare !acc
 
+(* Soak op stream.  Writes are upserts (remove-then-insert): a plain
+   [insert] of an existing key occupies a second slot, and a long
+   random stream of duplicate keys would fill segments with copies and
+   split its way to the max_depth failure — an artifact of the soak
+   shape, not a finding.  Keys are drawn from [1..14] ([insert]
+   asserts key <> 0). *)
+let soak_stream =
+  {
+    Pm_harness.Soak.os_name = "cceh";
+    os_keyspace = 14;
+    os_setup = Some (fun () -> ignore (create ()));
+    os_connect =
+      (fun () ->
+        let t = open_existing () in
+        fun kind ~key ~payload ->
+          match kind with
+          | Pm_harness.Soak.Read -> ignore (get t ~key)
+          | Pm_harness.Soak.Write ->
+              remove t ~key;
+              insert t ~key ~value:payload
+          | Pm_harness.Soak.Delete -> remove t ~key
+          | Pm_harness.Soak.Rmw ->
+              let v = Option.value ~default:0 (get t ~key) in
+              remove t ~key;
+              insert t ~key ~value:(v + 1));
+    os_audit = (fun () -> ignore (scan (open_existing ())));
+  }
+
 let workload_keys = [ 3; 7; 11; 19; 23; 42; 57; 63; 78; 91; 104; 119; 131; 150 ]
 
 let program =

@@ -46,3 +46,8 @@ val global_depth : t -> int
 
 (** The crash-test program for the harness: populate, crash, recover. *)
 val program : Pm_harness.Program.t
+
+(** Randomized-client soak stream: get/upsert/remove/rmw over a small
+    keyspace (writes remove-then-insert so duplicate keys never pile up
+    and force runaway splits); audit is {!scan}. *)
+val soak_stream : Pm_harness.Soak.op_stream

@@ -58,3 +58,40 @@ let faulty_recovery =
   Pm_harness.Program.make ~name:"demo-faulty-recovery" ~setup ~pre ~post ()
 
 let all = [ diverge; faulty_recovery ]
+
+(* A soak op stream with a crashing delete handler: every bucket whose
+   mix draws deletes eventually faults its way to quarantine, while the
+   delete-free mixes (read-heavy, rmw-heavy) keep soaking — the fault
+   storm the soak service's graceful-degradation path is tested
+   against.  Writes land on four durable counters so the stream still
+   produces genuine crash/recover work. *)
+let storm_stream =
+  let cell a key = a + (8 * ((key - 1) land 3)) in
+  {
+    Pm_harness.Soak.os_name = "demo-storm";
+    os_keyspace = 4;
+    os_setup =
+      Some
+        (fun () ->
+          let a = Pmem.alloc ~align:64 64 in
+          Pmem.set_root 0 a;
+          Pmem.persist a 64);
+    os_connect =
+      (fun () ->
+        let a = Pmem.get_root 0 in
+        fun kind ~key ~payload ->
+          match kind with
+          | Pm_harness.Soak.Read -> ignore (Pmem.load_int (cell a key))
+          | Pm_harness.Soak.Write | Pm_harness.Soak.Rmw ->
+              Pmem.store_int ~label:"demo.storm_cell" (cell a key) payload;
+              Pmem.clflush (cell a key);
+              Pmem.mfence ()
+          | Pm_harness.Soak.Delete ->
+              failwith "demo-storm: delete handler crashed");
+    os_audit =
+      (fun () ->
+        let a = Pmem.get_root 0 in
+        for k = 1 to 4 do
+          ignore (Pmem.load_int (cell a k))
+        done);
+  }

@@ -14,3 +14,9 @@ val faulty_recovery : Pm_harness.Program.t
 
 (** Both demos, in the order above. *)
 val all : Pm_harness.Program.t list
+
+(** A soak op stream whose delete handler always crashes: buckets whose
+    mix draws deletes fault until quarantined, delete-free buckets keep
+    running — the fault-storm fixture for the soak service's graceful
+    degradation. *)
+val storm_stream : Pm_harness.Soak.op_stream

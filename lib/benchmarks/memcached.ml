@@ -233,6 +233,33 @@ let restart_check t =
 let workload =
   [ (101, "alpha"); (202, "bravo"); (303, "charlie"); (404, "delta"); (505, "echo") ]
 
+(* Soak op stream: the pool is formatted once in trusted setup (so the
+   soak driver can memoize and rehydrate it), and [os_connect] resets
+   the volatile DRAM state the way a fresh server process would —
+   without it, LRU ticks and the cas counter would leak across
+   scenarios on the same domain and break run-to-run determinism. *)
+let soak_stream =
+  {
+    Pm_harness.Soak.os_name = "memcached";
+    os_keyspace = 12;
+    os_setup = Some (fun () -> ignore (startup ()));
+    os_connect =
+      (fun () ->
+        let v = volatile () in
+        Hashtbl.reset v.lru;
+        v.lru_tick <- 0;
+        v.global_cas <- 0;
+        let t = open_existing () in
+        fun kind ~key ~payload ->
+          match kind with
+          | Pm_harness.Soak.Read -> ignore (get t ~key)
+          | Pm_harness.Soak.Write ->
+              set t ~key ~value:(Printf.sprintf "v%d" payload)
+          | Pm_harness.Soak.Delete -> delete t ~key
+          | Pm_harness.Soak.Rmw -> ignore (incr_counter t ~key));
+    os_audit = (fun () -> ignore (restart_check (open_existing ())));
+  }
+
 let program =
   Pm_harness.Program.make ~name:"Memcached"
     ~pre:(fun () ->

@@ -40,3 +40,7 @@ val stats : t -> int
 val restart_check : t -> int  (** number of valid items found *)
 
 val program : Pm_harness.Program.t
+
+(** Randomized-client soak stream: get/set/delete/incr over a small
+    keyspace against a pre-formatted pool; audit is {!restart_check}. *)
+val soak_stream : Pm_harness.Soak.op_stream

@@ -110,6 +110,27 @@ let recover_all t =
 let workload =
   [ (11, "one"); (22, "twenty-two"); (33, "thirty-three"); (44, "forty-four") ]
 
+(* Soak op stream.  The keyspace must stay below [nslots]: the
+   directory has 8 slots and [free_slot] fails the process when full,
+   so 6 distinct keys leave headroom while still forcing slot reuse. *)
+let soak_stream =
+  {
+    Pm_harness.Soak.os_name = "redis";
+    os_keyspace = 6;
+    os_setup = Some (fun () -> ignore (start ()));
+    os_connect =
+      (fun () ->
+        let t = open_existing () in
+        fun kind ~key ~payload ->
+          match kind with
+          | Pm_harness.Soak.Read -> ignore (get t ~key)
+          | Pm_harness.Soak.Write ->
+              set t ~key ~value:(Printf.sprintf "v%d" payload)
+          | Pm_harness.Soak.Delete -> ignore (del t ~key)
+          | Pm_harness.Soak.Rmw -> ignore (incr t ~key));
+    os_audit = (fun () -> ignore (recover_all (open_existing ())));
+  }
+
 let program =
   Pm_harness.Program.make ~name:"Redis"
     ~setup:(fun () -> ignore (start ()))

@@ -31,3 +31,8 @@ val incr : t -> key:int -> int
 val recover_all : t -> int  (** number of valid entries *)
 
 val program : Pm_harness.Program.t
+
+(** Randomized-client soak stream: get/set/del/incr over a keyspace
+    small enough that the fixed directory never fills; audit is
+    {!recover_all}. *)
+val soak_stream : Pm_harness.Soak.op_stream

@@ -31,6 +31,26 @@ let demos = Demo_faults.all
    paper's suite, and check-all must stay comparable to Table 5. *)
 let litmus = Litmus.programs
 
+(* Soak op streams: the benchmarks whose client surface maps onto the
+   soak driver's randomized get/set/delete/rmw shape. *)
+let soak_streams = [ Memcached.soak_stream; Redis.soak_stream; Cceh.soak_stream ]
+
+(* Fault-storm demo stream: findable by name for quarantine tests,
+   never soaked by default. *)
+let soak_demo_streams = [ Demo_faults.storm_stream ]
+
+let find_soak_stream name =
+  let target = String.lowercase_ascii name in
+  List.find_opt
+    (fun (s : Pm_harness.Soak.op_stream) ->
+      String.lowercase_ascii s.Pm_harness.Soak.os_name = target)
+    (soak_streams @ soak_demo_streams)
+
+(* Rebuild a soak scenario's program from its encoded name, for corpus
+   replay of soak witnesses. *)
+let find_soak_program name =
+  Pm_harness.Soak.find_program ~streams:(soak_streams @ soak_demo_streams) name
+
 let find name =
   let target = String.lowercase_ascii name in
   match

@@ -19,6 +19,23 @@ val demos : Pm_harness.Program.t list
     {!all} (excluded from [check-all]). *)
 val litmus : Pm_harness.Program.t list
 
+(** Soak op streams ({!Pm_harness.Soak}) for the benchmarks with a
+    randomized-client surface: memcached, redis, cceh. *)
+val soak_streams : Pm_harness.Soak.op_stream list
+
+(** The fault-storm demo stream ({!Demo_faults.storm_stream});
+    findable by name, never soaked by default. *)
+val soak_demo_streams : Pm_harness.Soak.op_stream list
+
+(** Find a soak stream by (case-insensitive) name, demo streams
+    included. *)
+val find_soak_stream : string -> Pm_harness.Soak.op_stream option
+
+(** Rebuild a soak program from its encoded
+    ["soak:STREAM:MIX:DIST:OPS:SEED"] name (corpus replay of soak
+    witnesses); [None] for non-soak or malformed names. *)
+val find_soak_program : string -> Pm_harness.Program.t option
+
 (** Find by (case-insensitive) name, demos and litmus included; raises
     [Not_found]. *)
 val find : string -> Pm_harness.Program.t

@@ -73,25 +73,35 @@ let to_jsonl ws =
     ws;
   Buffer.contents buf
 
-let save path ws =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_jsonl ws))
+(* Crash-safe: the corpus appears under [path] only once fully
+   written, so a reader can never observe a half-saved checkpoint. *)
+let save path ws = Yashme_util.Atomic_file.write path (to_jsonl ws)
 
+(* Every failure is a positioned [Error], never an exception: soak
+   checkpoints make partial and empty files a real-world input.  An
+   empty (or whitespace-only) file is rejected loudly — a corpus you
+   can replay must carry at least one witness, and a 0-byte file is
+   the signature of an interrupted non-atomic writer. *)
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec loop lineno acc =
-        match input_line ic with
-        | exception End_of_file -> Ok (List.rev acc)
-        | "" -> loop (lineno + 1) acc
-        | line -> (
-            match Witness.decode line with
-            | Ok w -> loop (lineno + 1) (w :: acc)
-            | Error msg ->
-                Error (Printf.sprintf "%s:%d: %s" path lineno msg))
-      in
-      loop 1 [])
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec loop lineno acc =
+            match input_line ic with
+            | exception End_of_file ->
+                if acc = [] then
+                  Error
+                    (Printf.sprintf "%s:1: empty corpus (no witness lines)"
+                       path)
+                else Ok (List.rev acc)
+            | line when String.trim line = "" -> loop (lineno + 1) acc
+            | line -> (
+                match Witness.decode line with
+                | Ok w -> loop (lineno + 1) (w :: acc)
+                | Error msg ->
+                    Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+          in
+          loop 1 [])

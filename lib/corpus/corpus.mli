@@ -30,9 +30,15 @@ val pp_stats : Format.formatter -> stats -> unit
 (** Render witnesses as JSONL (one line each, trailing newline). *)
 val to_jsonl : Witness.t list -> string
 
-(** Write a corpus file ({!to_jsonl} bytes). *)
+(** Write a corpus file ({!to_jsonl} bytes), crash-safely: the bytes
+    go to a temporary which atomically replaces [path]
+    ({!Yashme_util.Atomic_file}), so an interrupted save never leaves
+    a truncated corpus. *)
 val save : string -> Witness.t list -> unit
 
-(** Load and decode a corpus file.  [Error] carries the first
-    malformed line's number and reason. *)
+(** Load and decode a corpus file.  Never raises: [Error] carries a
+    positioned reason ([file:line: ...]) for malformed or mid-line
+    truncated input, an unreadable path reports the system error, and
+    an empty (or whitespace-only) file is an error — the signature of
+    an interrupted non-atomic writer, not a valid corpus. *)
 val load : string -> (Witness.t list, string) result

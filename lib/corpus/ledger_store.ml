@@ -7,13 +7,12 @@
 
 module Ledger = Observe.Ledger
 
+(* Crash-safe append: existing entries plus the new line are republished
+   under [path] by atomic rename ({!Yashme_util.Atomic_file}), so an
+   interrupted append can never truncate earlier runs.  Ledgers are
+   small (one line per run), so the copy is cheap. *)
 let append path e =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.encode_obj (Ledger.fields e));
-      output_char oc '\n')
+  Yashme_util.Atomic_file.append_line path (Json.encode_obj (Ledger.fields e))
 
 let load path =
   match

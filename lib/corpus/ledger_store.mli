@@ -7,7 +7,10 @@
     [yashme compare].  Every line {!Observe.Trace.check_jsonl} accepts
     everything {!append} writes. *)
 
-(** Append one entry to [path] (created if absent). *)
+(** Append one entry to [path] (created if absent), crash-safely: the
+    existing entries and the new line are written to a temporary that
+    atomically replaces [path], so an interrupted append never leaves
+    a truncated ledger. *)
 val append : string -> Observe.Ledger.entry -> unit
 
 (** Read and decode a ledger file.  Errors carry the 1-based line

@@ -23,7 +23,7 @@ type state = {
   mutable last_emit : float;
   mutable interval_s : float;
   mutable heartbeat : bool;
-  mutable jsonl : out_channel option;
+  mutable jsonl : Yashme_util.Atomic_file.stream option;
   mutable emitted : int;
 }
 
@@ -43,19 +43,30 @@ let st =
     emitted = 0;
   }
 
+(* Rate and ETA are clamped to finite non-negative values: a tick
+   arriving before any work (or before the clock advances), a zero op
+   rate, or a clock step backwards must never leak inf/nan into the
+   stderr heartbeat or the JSONL stream. *)
+let finite f =
+  match Float.classify_float f with FP_nan | FP_infinite -> 0. | _ -> f
+
 let rate_of ~elapsed_s ~finished =
-  if elapsed_s > 0. then float_of_int finished /. elapsed_s else 0.
+  if elapsed_s > 0. && finished > 0 then
+    finite (float_of_int finished /. elapsed_s)
+  else 0.
 
 let eta_of ~rate ~remaining =
-  if rate > 0. && remaining > 0 then float_of_int remaining /. rate else 0.
+  if rate > 0. && remaining > 0 then finite (float_of_int remaining /. rate)
+  else 0.
 
 (* One emission; call with the lock held. *)
 let emit ~now =
   st.last_emit <- now;
   st.emitted <- st.emitted + 1;
-  let elapsed_s = now -. st.t0 in
+  let elapsed_s = Float.max 0. (now -. st.t0) in
+  let remaining = max 0 (st.total - st.finished) in
   let rate = rate_of ~elapsed_s ~finished:st.finished in
-  let eta_s = eta_of ~rate ~remaining:(st.total - st.finished) in
+  let eta_s = eta_of ~rate ~remaining in
   (* The heartbeat is stderr chatter like any log line: level [off]
      (--quiet) silences it.  The JSONL stream is machine-facing and
      unaffected. *)
@@ -64,24 +75,32 @@ let emit ~now =
       if st.total > 0 then 100. *. float_of_int st.finished /. float_of_int st.total
       else 0.
     in
+    (* With work remaining but no observed rate yet, there is no ETA to
+       claim — print "--" rather than a misleading 0.0s. *)
+    let eta =
+      if remaining > 0 && rate <= 0. then "--"
+      else Printf.sprintf "%.1fs" eta_s
+    in
     Printf.eprintf
       "yashme: progress %d/%d scenario(s) (%.0f%%), %.1f/s, %d race(s), %d \
-       fault(s), eta %.1fs\n\
+       fault(s), eta %s\n\
        %!"
-      st.finished st.total pct rate st.races st.faults eta_s
+      st.finished st.total pct rate st.races st.faults eta
   end;
   match st.jsonl with
   | None -> ()
-  | Some oc ->
-      Printf.fprintf oc
-        "{\"done\":%d,\"total\":%d,\"races\":%d,\"faults\":%d,\
-         \"rate_per_s\":%.6f,\"eta_s\":%.6f,\"elapsed_s\":%.6f}\n\
-         %!"
-        st.finished st.total st.races st.faults rate eta_s elapsed_s
+  | Some s ->
+      Yashme_util.Atomic_file.output_string s
+        (Printf.sprintf
+           "{\"done\":%d,\"total\":%d,\"races\":%d,\"faults\":%d,\
+            \"rate_per_s\":%.6f,\"eta_s\":%.6f,\"elapsed_s\":%.6f}\n"
+           st.finished st.total st.races st.faults rate eta_s elapsed_s)
 
 let start ?(interval_s = 0.5) ?(heartbeat = true) ?jsonl () =
   Mutex.protect lock (fun () ->
-      (match st.jsonl with Some oc -> close_out oc | None -> ());
+      (match st.jsonl with
+      | Some s -> Yashme_util.Atomic_file.abort s
+      | None -> ());
       st.total <- 0;
       st.finished <- 0;
       st.races <- 0;
@@ -90,7 +109,7 @@ let start ?(interval_s = 0.5) ?(heartbeat = true) ?jsonl () =
       st.last_emit <- 0.;
       st.interval_s <- interval_s;
       st.heartbeat <- heartbeat;
-      st.jsonl <- Option.map open_out jsonl;
+      st.jsonl <- Option.map Yashme_util.Atomic_file.stream jsonl;
       st.emitted <- 0);
   Atomic.set active true
 
@@ -109,14 +128,18 @@ let tick ~races ~faulted =
 
 (* Final emission happens unconditionally, so a [--progress-out] file
    always carries at least one (summary) line even for runs faster
-   than the throttle interval. *)
+   than the throttle interval.  The JSONL stream only appears under its
+   destination name here — the commit's atomic rename means a killed
+   run leaves no truncated artifact behind. *)
 let stop () =
   if not (Atomic.get active) then 0
   else begin
     Atomic.set active false;
     Mutex.protect lock (fun () ->
         emit ~now:(Unix.gettimeofday ());
-        (match st.jsonl with Some oc -> close_out oc | None -> ());
+        (match st.jsonl with
+        | Some s -> Yashme_util.Atomic_file.commit s
+        | None -> ());
         st.jsonl <- None;
         st.emitted)
   end

@@ -10,7 +10,15 @@
     Inactive by default; when inactive, {!tick} is a no-op behind a
     single [Atomic.get] branch.  Progress is wall-clock dependent and
     is never read back by the harness: the deterministic report path
-    is unaffected. *)
+    is unaffected.
+
+    Rate and ETA are clamped to finite non-negative values — a tick
+    before any work, a zero observed rate, or a clock step never
+    produces [inf]/[nan] in the stderr line or the JSONL stream (the
+    heartbeat prints [eta --] while no rate is observable).  The JSONL
+    stream is written through {!Yashme_util.Atomic_file}: bytes
+    accumulate in a temporary and the destination name only appears at
+    {!stop}, so an interrupted run leaves no truncated artifact. *)
 
 (** Reset counters and begin emitting.  [interval_s] (default 0.5)
     throttles emissions; [heartbeat] (default true) prints the stderr

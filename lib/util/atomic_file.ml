@@ -1,0 +1,76 @@
+(* Crash-safe writes: tmp file in the destination directory + atomic
+   rename.  The counter disambiguates concurrent writers inside one
+   process; the pid disambiguates across processes sharing /tmp. *)
+
+let counter = Atomic.make 0
+
+let tmp_of path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add counter 1)
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+let write path content =
+  let tmp = tmp_of path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     remove_noerr tmp;
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    remove_noerr tmp;
+    raise e
+
+let read_if_exists path =
+  if Sys.file_exists path then
+    Some
+      (let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+  else None
+
+let append_line path line =
+  let existing = Option.value ~default:"" (read_if_exists path) in
+  write path (existing ^ line ^ "\n")
+
+type stream = {
+  s_path : string;
+  s_tmp : string;
+  s_oc : out_channel;
+  mutable s_state : [ `Open | `Committed | `Aborted ];
+}
+
+let stream path =
+  let tmp = tmp_of path in
+  { s_path = path; s_tmp = tmp; s_oc = open_out_bin tmp; s_state = `Open }
+
+let output_string s str =
+  if s.s_state = `Open then begin
+    output_string s.s_oc str;
+    flush s.s_oc
+  end
+
+let commit s =
+  if s.s_state = `Open then begin
+    s.s_state <- `Committed;
+    (try close_out s.s_oc
+     with e ->
+       remove_noerr s.s_tmp;
+       raise e);
+    try Sys.rename s.s_tmp s.s_path
+    with e ->
+      remove_noerr s.s_tmp;
+      raise e
+  end
+
+let abort s =
+  if s.s_state = `Open then begin
+    s.s_state <- `Aborted;
+    close_out_noerr s.s_oc;
+    remove_noerr s.s_tmp
+  end

@@ -1,0 +1,43 @@
+(** Crash-safe file emission: write to a temporary file in the
+    destination's directory, then publish with an atomic [Sys.rename].
+
+    Every artifact emitter in the harness ([--ledger], [--corpus-out],
+    [--coverage-out], [--progress-out], soak checkpoints and manifests)
+    goes through this module, so an interrupted run — SIGKILL, crash,
+    full disk — never leaves a truncated or half-written file under the
+    destination name: the reader sees either the previous complete
+    artifact or the new complete one, nothing in between.
+
+    The temporary lives next to the destination (same directory, hence
+    same filesystem) with a [.tmp.<pid>.<n>] suffix, so the rename is
+    atomic on POSIX and concurrent writers in one process never collide
+    on the temporary name. *)
+
+(** [write path content] atomically replaces [path] with [content].
+    On any write error the temporary is removed and the exception
+    re-raised; [path] is left untouched. *)
+val write : string -> string -> unit
+
+(** [append_line path line] atomically appends [line ^ "\n"] to [path]
+    (created if absent): the existing bytes and the new line are
+    written to a temporary which then replaces [path].  An interrupted
+    append can therefore never truncate earlier entries. *)
+val append_line : string -> string -> unit
+
+(** A crash-safe output stream: bytes accumulate in the temporary and
+    the destination name only appears at {!commit}.  For streaming
+    emitters (progress JSONL) where the file must be complete-or-absent
+    rather than tail-truncated. *)
+type stream
+
+(** Open a stream targeting [path]. *)
+val stream : string -> stream
+
+val output_string : stream -> string -> unit
+
+(** Publish the accumulated bytes under the target name.  Idempotent:
+    a second call is a no-op. *)
+val commit : stream -> unit
+
+(** Discard the stream and its temporary (no-op after {!commit}). *)
+val abort : stream -> unit
