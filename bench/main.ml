@@ -346,7 +346,9 @@ let engine_throughput ~jobs ~out ?ledger () =
                metrics it wasn't asked to compare. *)
             ("gc_minor_words", `I m.m_gc_minor);
             ("gc_major_words", `I m.m_gc_major);
-            ("snapshot_bytes", `I (c "px86/snapshot_bytes")) ])
+            ("snapshot_bytes", `I (c "px86/snapshot_bytes"));
+            ("oracle_invariants", `I (c "oracle/invariants"));
+            ("oracle_violations", `I (c "oracle/violations")) ])
       measured
   in
   List.iter print_endline json_lines;

@@ -177,6 +177,20 @@ let corpus_out =
              $(b,yashme replay), shrink them with $(b,yashme minimize)." in
   Arg.(value & opt (some string) None & info [ "corpus-out" ] ~doc ~docv:"FILE")
 
+let oracle_flag =
+  let doc = "Run the crash-consistency invariant oracle alongside the race \
+             detector: infer likely persistence invariants (ordering and \
+             same-line atomicity) from crash-free reference executions of the \
+             program's observe hook, replay every crash chain under the \
+             lowerbound persist cut, and diff the recovered observable state \
+             against the invariant-reachable states.  Violations are \
+             deduplicated by stable key and reported (and written to \
+             --corpus-out) alongside races; an [oracle] block lists the \
+             inferred invariant set.  Programs without an observe hook run \
+             unchanged.  Without this flag no oracle work runs at all and \
+             the report is byte-identical to earlier builds." in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
 let fail_fast_flag =
   let doc = "Stop at the first scenario fault: cancel the remaining batch \
              cooperatively and re-raise the fault's exception with its \
@@ -355,13 +369,18 @@ let options ?(eadr = false) ?(no_coherence = false) ?(no_candidates = false)
     mode; seed; eadr; variant; coherence = not no_coherence;
     check_candidates = not no_candidates; max_ops; max_wall_s }
 
-let outcome_program run_mode opts ~jobs ~fail_fast execs (p : Pm_harness.Program.t) =
+let outcome_program ?(oracle = false) run_mode opts ~jobs ~fail_fast execs
+    (p : Pm_harness.Program.t) =
   match run_mode with
-  | `Mc -> Pm_harness.Runner.model_check_outcome ~options:opts ~jobs ~fail_fast p
+  | `Mc ->
+      Pm_harness.Runner.model_check_outcome ~options:opts ~jobs ~fail_fast
+        ~oracle p
   | `Mc_recovery ->
-      Pm_harness.Runner.model_check_recovery_outcome ~options:opts ~jobs ~fail_fast p
+      Pm_harness.Runner.model_check_recovery_outcome ~options:opts ~jobs
+        ~fail_fast ~oracle p
   | `Random ->
-      Pm_harness.Runner.random_mode_outcome ~options:opts ~jobs ~fail_fast ~execs p
+      Pm_harness.Runner.random_mode_outcome ~options:opts ~jobs ~fail_fast
+        ~oracle ~execs p
 
 (* Replay/minimize rebuild scenarios by registry name; demos are
    findable too, so corpora recorded from them replay as well.  Soak
@@ -405,13 +424,19 @@ let print_report show_benign (r : Pm_harness.Report.t) =
           f.Pm_harness.Report.count
           (if f.Pm_harness.Report.count = 1 then "" else "s"))
       real;
-    (* Recovery failures are real findings; contained-fault/divergence
-       counts only appear when non-zero, like in Report.pp. *)
+    (* Recovery failures and consistency violations are real findings;
+       contained-fault/divergence counts only appear when non-zero,
+       like in Report.pp. *)
     List.iter
       (fun rf ->
         Printf.printf "  %s\n"
           (Format.asprintf "%a" Pm_harness.Report.pp_recovery_failure rf))
       r.Pm_harness.Report.recovery_failures;
+    List.iter
+      (fun cv ->
+        Printf.printf "  %s\n"
+          (Format.asprintf "%a" Pm_harness.Report.pp_consistency_violation cv))
+      r.Pm_harness.Report.consistency_violations;
     if r.Pm_harness.Report.fault_count > 0 || r.Pm_harness.Report.diverged > 0
     then
       Printf.printf "  [contained] %d scenario fault(s), %d diverged (budget)\n"
@@ -450,7 +475,7 @@ let check_cmd =
   in
   let run bench run_mode dmode execs jobs seed variant show_benign eadr
       no_coherence no_candidates metrics trace_out quiet max_ops timeout
-      fail_fast corpus_out log_level coverage coverage_out progress
+      fail_fast oracle corpus_out log_level coverage coverage_out progress
       progress_out attribution attribution_out ledger run_label =
     match Pm_benchmarks.Registry.find bench with
     | exception Not_found ->
@@ -475,7 +500,7 @@ let check_cmd =
           if collect_att then Observe.Attribution.snapshot () else []
         in
         let o =
-          outcome_program run_mode
+          outcome_program ~oracle run_mode
             (options ~eadr ~no_coherence ~no_candidates ~variant ?max_ops
                ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
@@ -497,6 +522,7 @@ let check_cmd =
           else r
         in
         print_report show_benign r;
+        if oracle then print_endline (Pm_harness.Report.oracle_to_string r);
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
         if coverage_show then
           print_endline (Pm_harness.Report.coverage_to_string r);
@@ -520,9 +546,9 @@ let check_cmd =
       const run $ bench $ run_mode $ detector_mode $ execs $ jobs $ seed
       $ variant_arg $ show_benign $ eadr_flag $ no_coherence $ no_candidates
       $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg $ timeout_arg
-      $ fail_fast_flag $ corpus_out $ log_level_arg $ coverage_flag
-      $ coverage_out $ progress_flag $ progress_out $ attribution_flag
-      $ attribution_out $ ledger_arg $ run_label_arg)
+      $ fail_fast_flag $ oracle_flag $ corpus_out $ log_level_arg
+      $ coverage_flag $ coverage_out $ progress_flag $ progress_out
+      $ attribution_flag $ attribution_out $ ledger_arg $ run_label_arg)
   in
   Cmd.v (Cmd.info "check" ~doc:"Detect persistency races in one benchmark") term
 
@@ -563,7 +589,7 @@ let witness_cmd =
 
 let check_all_cmd =
   let run run_mode dmode execs jobs seed variant show_benign metrics trace_out
-      quiet max_ops timeout fail_fast corpus_out log_level coverage
+      quiet max_ops timeout fail_fast oracle corpus_out log_level coverage
       coverage_out progress progress_out attribution attribution_out ledger
       run_label =
     let coverage_show = coverage || coverage_out <> None in
@@ -590,7 +616,7 @@ let check_all_cmd =
           if collect_att then Observe.Attribution.snapshot () else []
         in
         let o =
-          outcome_program run_mode
+          outcome_program ~oracle run_mode
             (options ~variant ?max_ops ?max_wall_s:timeout dmode seed)
             ~jobs ~fail_fast execs p
         in
@@ -620,6 +646,7 @@ let check_all_cmd =
         end;
         total := !total + List.length (Pm_harness.Report.real r);
         print_report show_benign r;
+        if oracle then print_endline (Pm_harness.Report.oracle_to_string r);
         if metrics then print_endline (Pm_harness.Report.metrics_to_string r);
         if coverage_show then
           print_endline (Pm_harness.Report.coverage_to_string r);
@@ -645,7 +672,7 @@ let check_all_cmd =
     Term.(
       const run $ run_mode $ detector_mode $ execs $ jobs $ seed $ variant_arg
       $ show_benign $ metrics_flag $ trace_out $ quiet_flag $ max_ops_arg
-      $ timeout_arg $ fail_fast_flag $ corpus_out $ log_level_arg
+      $ timeout_arg $ fail_fast_flag $ oracle_flag $ corpus_out $ log_level_arg
       $ coverage_flag $ coverage_out $ progress_flag $ progress_out
       $ attribution_flag $ attribution_out $ ledger_arg $ run_label_arg)
   in
@@ -1211,7 +1238,7 @@ let soak_cmd =
   in
   let go ~streams ~seed ~variant ~jobs ~ops_per_exec ~fault_budget ~max_ops
       ~wall_s ~checkpoint_every ~manifest_path ~corpus_path ~resume_snapshot
-      ~preload ~stop_after ~quiet ~log_level ~progress ~progress_out
+      ~preload ~stop_after ~oracle ~quiet ~log_level ~progress ~progress_out
       ~coverage_out ~attribution_out ~ledger ~run_label ~trace_out =
     let collect_metrics = ledger <> None in
     let collect_att = attribution_out <> None || ledger <> None in
@@ -1238,6 +1265,7 @@ let soak_cmd =
         sk_max_ops = max_ops;
         sk_wall_s = wall_s;
         sk_checkpoint_every = checkpoint_every;
+        sk_oracle = oracle;
       }
     in
     let manifest_of ~soak_ok ~stopped ~elapsed snap =
@@ -1311,24 +1339,27 @@ let soak_cmd =
       result.Pm_harness.Soak.r_snapshot;
     let snap = result.Pm_harness.Soak.r_snapshot in
     let ws = Pm_corpus.Soak_store.witnesses sink in
-    let race_ws =
-      List.length
-        (List.filter
-           (fun w -> w.Pm_corpus.Witness.kind = Pm_corpus.Witness.Race)
-           ws)
+    let count k =
+      List.length (List.filter (fun w -> w.Pm_corpus.Witness.kind = k) ws)
     in
+    let race_ws = count Pm_corpus.Witness.Race in
+    let rf_ws = count Pm_corpus.Witness.Recovery_failure in
+    let cv_ws = count Pm_corpus.Witness.Consistency_violation in
     Printf.printf
       "soak %s: stopped (%s) after %d round(s): %d scenario(s), %d client \
        op(s), %d execution(s)\n"
       run_name reason snap.Pm_harness.Soak.snap_next_round
       snap.Pm_harness.Soak.snap_scenarios snap.Pm_harness.Soak.snap_client_ops
       snap.Pm_harness.Soak.snap_executions;
+    (* The consistency-violation count is appended only when the oracle
+       found any, keeping oracle-off output byte-identical. *)
     Printf.printf
       "  %d raw race observation(s) -> %d witness(es) (%d race, %d \
-       recovery-failure); %d faulted, %d diverged\n"
-      snap.Pm_harness.Soak.snap_races (List.length ws) race_ws
-      (List.length ws - race_ws) snap.Pm_harness.Soak.snap_faulted
-      snap.Pm_harness.Soak.snap_diverged;
+       recovery-failure%s); %d faulted, %d diverged\n"
+      snap.Pm_harness.Soak.snap_races (List.length ws) race_ws rf_ws
+      (if cv_ws > 0 then Printf.sprintf ", %d consistency-violation" cv_ws
+       else "")
+      snap.Pm_harness.Soak.snap_faulted snap.Pm_harness.Soak.snap_diverged;
     List.iter
       (fun b ->
         if b.Pm_harness.Soak.bs_quarantined then
@@ -1371,7 +1402,7 @@ let soak_cmd =
             e_races = race_ws;
             e_benign = 0;
             e_raw_races = snap.Pm_harness.Soak.snap_races;
-            e_recovery_failures = List.length ws - race_ws;
+            e_recovery_failures = rf_ws;
             e_witnesses = List.length ws;
             e_elapsed_s = result.Pm_harness.Soak.r_elapsed_s;
             e_cpu_s = 0.;
@@ -1393,9 +1424,9 @@ let soak_cmd =
     if not result.Pm_harness.Soak.r_ok then exit 1
   in
   let run streams_pos seed jobs variant max_ops wall_s fault_budget
-      ops_per_exec checkpoint_every manifest_path resume stop_after corpus_out
-      quiet log_level progress progress_out coverage_out attribution_out
-      ledger run_label trace_out =
+      ops_per_exec checkpoint_every manifest_path resume stop_after oracle
+      corpus_out quiet log_level progress progress_out coverage_out
+      attribution_out ledger run_label trace_out =
     match resume with
     | None ->
         let names =
@@ -1406,7 +1437,7 @@ let soak_cmd =
         go ~streams:(resolve_streams names) ~seed ~variant ~jobs ~ops_per_exec
           ~fault_budget ~max_ops ~wall_s ~checkpoint_every ~manifest_path
           ~corpus_path:corpus_out ~resume_snapshot:None ~preload:[] ~stop_after
-          ~quiet ~log_level ~progress ~progress_out ~coverage_out
+          ~oracle ~quiet ~log_level ~progress ~progress_out ~coverage_out
           ~attribution_out ~ledger ~run_label ~trace_out
     | Some mf_path -> (
         match Pm_corpus.Soak_store.load mf_path with
@@ -1447,8 +1478,8 @@ let soak_cmd =
                 (if m.Pm_corpus.Soak_store.m_corpus = "" then corpus_out
                  else Some m.Pm_corpus.Soak_store.m_corpus)
               ~resume_snapshot:(Some m.Pm_corpus.Soak_store.m_snapshot)
-              ~preload ~stop_after ~quiet ~log_level ~progress ~progress_out
-              ~coverage_out ~attribution_out ~ledger
+              ~preload ~stop_after ~oracle ~quiet ~log_level ~progress
+              ~progress_out ~coverage_out ~attribution_out ~ledger
               ~run_label:(Some m.Pm_corpus.Soak_store.m_run)
               ~trace_out)
   in
@@ -1457,9 +1488,9 @@ let soak_cmd =
       const run $ streams_pos $ seed $ jobs $ variant_arg $ soak_max_ops
       $ wall_s_arg $ fault_budget_arg $ ops_per_exec_arg
       $ checkpoint_every_arg $ manifest_arg $ resume_arg $ stop_after_arg
-      $ corpus_out $ quiet_flag $ log_level_arg $ progress_flag $ progress_out
-      $ coverage_out $ attribution_out $ ledger_arg $ run_label_arg
-      $ trace_out)
+      $ oracle_flag $ corpus_out $ quiet_flag $ log_level_arg $ progress_flag
+      $ progress_out $ coverage_out $ attribution_out $ ledger_arg
+      $ run_label_arg $ trace_out)
   in
   Cmd.v
     (Cmd.info "soak"
@@ -1469,11 +1500,118 @@ let soak_cmd =
              and clean SIGINT handling")
     term
 
+let oracle_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
+           ~doc:"Benchmark name (see $(b,yashme list)); must expose an \
+                 observe hook.")
+  in
+  let find_observed bench =
+    match Pm_benchmarks.Registry.find bench with
+    | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S; try `yashme list'\n" bench;
+        exit 1
+    | p ->
+        if p.Pm_harness.Program.observe = None then begin
+          Printf.eprintf
+            "benchmark %S has no observe hook; the oracle needs one to \
+             snapshot recovered state\n"
+            bench;
+          exit 1
+        end;
+        p
+  in
+  let prepare ~seed ~variant p =
+    let opts = { Pm_harness.Runner.default_options with seed; variant } in
+    match Pm_harness.Runner.prepare_oracle ~options:opts p with
+    | Some prep -> prep
+    | None -> assert false (* find_observed checked the hook *)
+  in
+  let infer_cmd =
+    let out_arg =
+      let doc = "Write the inferred invariant set to $(docv) (one invariant \
+                 per line, crash-safe tmp + atomic rename) instead of \
+                 stdout.  Feed it back with $(b,yashme oracle check \
+                 --invariants)." in
+      Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+    in
+    let run bench seed variant out =
+      let p = find_observed bench in
+      let prep = prepare ~seed ~variant p in
+      let lines =
+        Pm_oracle.Invariant.to_lines
+          prep.Pm_harness.Runner.op_invariants
+      in
+      match out with
+      | None -> print_string lines
+      | Some file ->
+          Yashme_util.Atomic_file.write file lines;
+          Printf.printf "oracle: %d invariant(s) written to %s\n"
+            (List.length prep.Pm_harness.Runner.op_invariants)
+            file
+    in
+    Cmd.v
+      (Cmd.info "infer"
+         ~doc:"Infer likely persistence invariants (ordering, same-line \
+               atomicity) from a crash-free reference execution")
+      Term.(const run $ bench $ seed $ variant_arg $ out_arg)
+  in
+  let check_cmd =
+    let invariants_arg =
+      let doc = "Check against the invariant set in $(docv) (the $(b,yashme \
+                 oracle infer -o) format) instead of inferring one from the \
+                 reference execution." in
+      Arg.(value & opt (some string) None
+             & info [ "invariants" ] ~doc ~docv:"FILE")
+    in
+    let run bench seed variant jobs invariants_file =
+      let p = find_observed bench in
+      let invariants =
+        match invariants_file with
+        | None -> None
+        | Some file -> (
+            let text =
+              match In_channel.with_open_text file In_channel.input_all with
+              | text -> text
+              | exception Sys_error msg ->
+                  Printf.eprintf "%s\n" msg;
+                  exit 1
+            in
+            match Pm_oracle.Invariant.of_lines text with
+            | Ok invs -> Some invs
+            | Error msg ->
+                Printf.eprintf "%s: %s\n" file msg;
+                exit 1)
+      in
+      let opts = { Pm_harness.Runner.default_options with seed; variant } in
+      let o =
+        Pm_harness.Runner.model_check_outcome ~options:opts ~jobs ~oracle:true
+          ?invariants p
+      in
+      let r = o.Pm_harness.Runner.o_report in
+      print_report false r;
+      print_endline (Pm_harness.Report.oracle_to_string r);
+      if r.Pm_harness.Report.consistency_violations <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Model-check one benchmark with the invariant oracle attached; \
+               exit 1 when the oracle reports a consistency violation")
+      Term.(const run $ bench $ seed $ variant_arg $ jobs $ invariants_arg)
+  in
+  Cmd.group
+    (Cmd.info "oracle"
+       ~doc:"Crash-consistency invariant oracle: infer likely persistence \
+             invariants from crash-free reference executions and diff \
+             post-crash-recovery state against them")
+    [ infer_cmd; check_cmd ]
+
 let main =
   let doc = "Yashme: detecting persistency races (ASPLOS 2022 reproduction)" in
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
     [ list_cmd; check_cmd; check_all_cmd; soak_cmd; tables_cmd; witness_cmd;
-      variants_cmd; litmus_cmd; trace_lint_cmd; profile_cmd; bench_diff_cmd;
-      runs_cmd; compare_cmd; replay_cmd; minimize_cmd; corpus_cmd ]
+      variants_cmd; litmus_cmd; oracle_cmd; trace_lint_cmd; profile_cmd;
+      bench_diff_cmd; runs_cmd; compare_cmd; replay_cmd; minimize_cmd;
+      corpus_cmd ]
 
 let () = exit (Cmd.eval main)

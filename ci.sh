@@ -168,7 +168,12 @@ soak_c2=$(mktemp /tmp/yashme-ci-soak-c2.XXXXXX.jsonl)
 soak_mr=$(mktemp /tmp/yashme-ci-soak-mr.XXXXXX.jsonl)
 soak_cr=$(mktemp /tmp/yashme-ci-soak-cr.XXXXXX.jsonl)
 soak_prog=$(mktemp /tmp/yashme-ci-soak-prog.XXXXXX.jsonl)
-trap 'rm -f "$trace" "$corpus" "$minimized" "$merged" "$progress" "$cov1" "$cov4" "$bench_cur" "$bench_rerun" "$att1" "$att4" "$ledger" "$soak_m1" "$soak_m2" "$soak_c1" "$soak_c2" "$soak_mr" "$soak_cr" "$soak_prog" ${soak_m1}.s ${soak_m2}.s' EXIT
+oracle_c1=$(mktemp /tmp/yashme-ci-oracle-c1.XXXXXX.jsonl)
+oracle_c4=$(mktemp /tmp/yashme-ci-oracle-c4.XXXXXX.jsonl)
+oracle_min=$(mktemp /tmp/yashme-ci-oracle-min.XXXXXX.jsonl)
+oracle_b0=$(mktemp /tmp/yashme-ci-oracle-b0.XXXXXX.jsonl)
+oracle_b1=$(mktemp /tmp/yashme-ci-oracle-b1.XXXXXX.jsonl)
+trap 'rm -f "$trace" "$corpus" "$minimized" "$merged" "$progress" "$cov1" "$cov4" "$bench_cur" "$bench_rerun" "$att1" "$att4" "$ledger" "$soak_m1" "$soak_m2" "$soak_c1" "$soak_c2" "$soak_mr" "$soak_cr" "$soak_prog" ${soak_m1}.s ${soak_m2}.s "$oracle_c1" "$oracle_c4" "$oracle_min" "$oracle_b0" "$oracle_b1"' EXIT
 # A budgeted soak run must stop cleanly (soak_ok=true) with a
 # manifest and progress stream the existing JSONL codec accepts.
 dune exec bin/yashme_cli.exe -- soak cceh --seed 7 --max-ops 1200 --jobs 2 \
@@ -233,6 +238,48 @@ echo "$out" | grep -q "quarantined" || {
   exit 1
 }
 
+echo "== invariant-oracle smoke (check --oracle + corpus + replay + minimize)"
+# The fixture the race detector must NOT flag: fully fenced, but the
+# flag publishes before the data it guards persists — an oracle-only
+# consistency violation with a stable plan-free key.
+out=$(dune exec bin/yashme_cli.exe -- check --oracle demo-inconsistency \
+  --corpus-out "$oracle_c1")
+echo "$out" | grep -q "0 distinct persistency race(s)" || {
+  echo "ci: race detector flagged demo-inconsistency" >&2
+  echo "$out" >&2
+  exit 1
+}
+echo "$out" | grep -q "consistency-violation.*order:demo.data<demo.flag" || {
+  echo "ci: oracle missed the demo-inconsistency ordering violation" >&2
+  echo "$out" >&2
+  exit 1
+}
+# Consistency witnesses replay (exit 0) and minimize in the build that
+# recorded them.
+dune exec bin/yashme_cli.exe -- replay "$oracle_c1" --quiet
+dune exec bin/yashme_cli.exe -- minimize "$oracle_c1" -o "$oracle_min" --quiet
+dune exec bin/yashme_cli.exe -- replay "$oracle_min" --quiet
+# The oracle report (violations and the [oracle] block) is
+# byte-identical across job counts, like every other report.
+dune exec bin/yashme_cli.exe -- check --oracle demo-inconsistency --jobs 4 \
+  --corpus-out "$oracle_c4" >/dev/null
+cmp "$oracle_c1" "$oracle_c4" || {
+  echo "ci: oracle corpus differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+# The oracle subcommands: infer prints the invariant set, check exits 1
+# on a violation (the CI-gate contract).
+dune exec bin/yashme_cli.exe -- oracle infer demo-inconsistency \
+  | grep -q "order demo.data < demo.flag" || {
+  echo "ci: oracle infer did not print the ordering invariant" >&2
+  exit 1
+}
+if dune exec bin/yashme_cli.exe -- oracle check demo-inconsistency \
+  >/dev/null 2>&1; then
+  echo "ci: oracle check exited 0 on a violating program" >&2
+  exit 1
+fi
+
 echo "== bench gate (committed baseline + back-to-back run)"
 # The committed baseline must gate cleanly against a fresh run of the
 # same tree.  Throughput numbers are machine-dependent, so the
@@ -247,5 +294,18 @@ dune exec bench/main.exe -- --throughput-only --jobs 2 --out "$bench_rerun" \
   >/dev/null
 dune exec bin/yashme_cli.exe -- bench-diff "$bench_cur" "$bench_rerun" \
   --tolerance 200
+# The gate compares only the named metric, so rows may gain or lose
+# observability columns (e.g. the oracle counters) without tripping
+# it — assert that in both directions with synthetic summaries.
+printf '{"bench":"synthetic","jobs":2,"ops_per_s":100.0}\n' > "$oracle_b0"
+printf '{"bench":"synthetic","jobs":2,"ops_per_s":100.0,"oracle_invariants":3,"oracle_violations":1}\n' > "$oracle_b1"
+dune exec bin/yashme_cli.exe -- bench-diff "$oracle_b0" "$oracle_b1" >/dev/null || {
+  echo "ci: bench-diff choked on a current file with extra metrics" >&2
+  exit 1
+}
+dune exec bin/yashme_cli.exe -- bench-diff "$oracle_b1" "$oracle_b0" >/dev/null || {
+  echo "ci: bench-diff choked on a baseline file with extra metrics" >&2
+  exit 1
+}
 
 echo "CI OK"

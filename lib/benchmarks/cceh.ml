@@ -212,6 +212,12 @@ let soak_stream =
               remove t ~key;
               insert t ~key ~value:(v + 1));
     os_audit = (fun () -> ignore (scan (open_existing ())));
+    os_observe =
+      Some
+        (fun () ->
+          List.map
+            (fun (k, v) -> (Printf.sprintf "key%d" k, string_of_int v))
+            (scan (open_existing ())));
   }
 
 let workload_keys = [ 3; 7; 11; 19; 23; 42; 57; 63; 78; 91; 104; 119; 131; 150 ]
@@ -228,4 +234,8 @@ let program =
       let t = open_existing () in
       List.iter (fun k -> ignore (get t ~key:k)) workload_keys;
       ignore (scan t))
+    ~observe:(fun () ->
+      List.map
+        (fun (k, v) -> (Printf.sprintf "key%d" k, string_of_int v))
+        (scan (open_existing ())))
     ()

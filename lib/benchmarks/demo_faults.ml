@@ -57,7 +57,43 @@ let faulty_recovery =
   in
   Pm_harness.Program.make ~name:"demo-faulty-recovery" ~setup ~pre ~post ()
 
-let all = [ diverge; faulty_recovery ]
+(* A planted persist-order inversion for the invariant oracle: [pre]
+   writes [data] then [flag] (the program-order publication protocol),
+   but flushes [flag] first — a crash between the two flushes recovers
+   flag=1 over data=0, the exact state the protocol promises can never
+   be observed.  The recovery procedure reads nothing and never raises,
+   and every store is flushed and fenced before the phase ends, so the
+   race detector and the recovery-failure path both stay silent: only
+   the state-diff oracle (which infers "data persisted before flag"
+   from a crash-free reference run) flags it. *)
+let inconsistency =
+  let setup () =
+    let a = Pmem.alloc ~align:64 128 in
+    Pmem.set_root 0 a;
+    Pmem.persist a 128
+  in
+  let pre () =
+    let a = Pmem.get_root 0 in
+    Pmem.store_int ~label:"demo.data" a 41;
+    Pmem.store_int ~label:"demo.flag" (a + 64) 1;
+    (* Bug: the flag publishes before the data it guards persists. *)
+    Pmem.clflush (a + 64);
+    Pmem.mfence ();
+    Pmem.clflush a;
+    Pmem.mfence ()
+  in
+  let post () = ignore (Pmem.get_root 0) in
+  let observe () =
+    let a = Pmem.get_root 0 in
+    [
+      ("demo.data", string_of_int (Pmem.load_int a));
+      ("demo.flag", string_of_int (Pmem.load_int (a + 64)));
+    ]
+  in
+  Pm_harness.Program.make ~name:"demo-inconsistency" ~setup ~pre ~post ~observe
+    ()
+
+let all = [ diverge; faulty_recovery; inconsistency ]
 
 (* A soak op stream with a crashing delete handler: every bucket whose
    mix draws deletes eventually faults its way to quarantine, while the
@@ -94,4 +130,11 @@ let storm_stream =
         for k = 1 to 4 do
           ignore (Pmem.load_int (cell a k))
         done);
+    os_observe =
+      Some
+        (fun () ->
+          let a = Pmem.get_root 0 in
+          List.init 4 (fun i ->
+              ( Printf.sprintf "cell%d" (i + 1),
+                string_of_int (Pmem.load_int (cell a (i + 1))) )));
   }

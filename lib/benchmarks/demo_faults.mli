@@ -7,12 +7,18 @@
       it, marking the scenario diverged.
     - [demo-faulty-recovery]: the pre-crash phase flushes only one of
       two mirror fields, so a crash at program end tears them and the
-      recovery procedure raises — a recovery-failure finding. *)
+      recovery procedure raises — a recovery-failure finding.
+    - [demo-inconsistency]: a planted persist-order inversion (the
+      guard flag flushes before the data it publishes).  Recovery never
+      raises and every store is persisted before the phase ends, so the
+      race detector stays silent; only the invariant oracle (via the
+      program's [observe] hook) flags the crash state flag=1/data=0. *)
 
 val diverge : Pm_harness.Program.t
 val faulty_recovery : Pm_harness.Program.t
+val inconsistency : Pm_harness.Program.t
 
-(** Both demos, in the order above. *)
+(** All demos, in the order above. *)
 val all : Pm_harness.Program.t list
 
 (** A soak op stream whose delete handler always crashes: buckets whose

@@ -258,6 +258,14 @@ let soak_stream =
           | Pm_harness.Soak.Delete -> delete t ~key
           | Pm_harness.Soak.Rmw -> ignore (incr_counter t ~key));
     os_audit = (fun () -> ignore (restart_check (open_existing ())));
+    os_observe =
+      Some
+        (fun () ->
+          let t = open_existing () in
+          List.init 12 (fun i ->
+              let k = i + 1 in
+              ( Printf.sprintf "key%d" k,
+                Option.value ~default:"<absent>" (get t ~key:k) )));
   }
 
 let program =
@@ -276,4 +284,11 @@ let program =
     ~post:(fun () ->
       let t = open_existing () in
       ignore (restart_check t))
+    ~observe:(fun () ->
+      let t = open_existing () in
+      List.map
+        (fun k ->
+          ( Printf.sprintf "key%d" k,
+            Option.value ~default:"<absent>" (get t ~key:k) ))
+        [ 101; 202; 303; 404; 505; 777 ])
     ()

@@ -129,6 +129,14 @@ let soak_stream =
           | Pm_harness.Soak.Delete -> ignore (del t ~key)
           | Pm_harness.Soak.Rmw -> ignore (incr t ~key));
     os_audit = (fun () -> ignore (recover_all (open_existing ())));
+    os_observe =
+      Some
+        (fun () ->
+          let t = open_existing () in
+          List.init 6 (fun i ->
+              let k = i + 1 in
+              ( Printf.sprintf "key%d" k,
+                Option.value ~default:"<absent>" (get t ~key:k) )));
   }
 
 let program =
@@ -144,4 +152,11 @@ let program =
     ~post:(fun () ->
       let t = open_existing () in
       ignore (recover_all t))
+    ~observe:(fun () ->
+      let t = open_existing () in
+      List.map
+        (fun k ->
+          ( Printf.sprintf "key%d" k,
+            Option.value ~default:"<absent>" (get t ~key:k) ))
+        [ 11; 22; 33; 44; 99 ])
     ()

@@ -2,6 +2,7 @@ type stats = {
   total : int;
   races : int;
   recovery_failures : int;
+  consistency_violations : int;
   programs : (string * int) list;
   distinct_keys : int;
   duplicates_folded : int;
@@ -29,14 +30,15 @@ let dedup ws =
 let merge corpora = dedup (List.concat corpora)
 
 let stats ?(duplicates_folded = 0) ws =
-  let races = ref 0 and rfs = ref 0 in
+  let races = ref 0 and rfs = ref 0 and cvs = ref 0 in
   let per_program : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let keys : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (w : Witness.t) ->
       (match w.Witness.kind with
       | Witness.Race -> incr races
-      | Witness.Recovery_failure -> incr rfs);
+      | Witness.Recovery_failure -> incr rfs
+      | Witness.Consistency_violation -> incr cvs);
       Hashtbl.replace per_program w.Witness.program
         (1 + Option.value ~default:0 (Hashtbl.find_opt per_program w.Witness.program));
       Hashtbl.replace keys w.Witness.key ())
@@ -45,6 +47,7 @@ let stats ?(duplicates_folded = 0) ws =
     total = List.length ws;
     races = !races;
     recovery_failures = !rfs;
+    consistency_violations = !cvs;
     programs =
       Hashtbl.fold (fun p n acc -> (p, n) :: acc) per_program []
       |> List.sort compare;
@@ -56,6 +59,10 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>%d witness(es): %d race(s), %d recovery failure(s)" s.total s.races
     s.recovery_failures;
+  (* Appended only when present, so pre-oracle corpora render the
+     exact bytes they always did. *)
+  if s.consistency_violations > 0 then
+    Format.fprintf ppf ", %d consistency violation(s)" s.consistency_violations;
   Format.fprintf ppf "@,distinct keys (cross-program): %d" s.distinct_keys;
   if s.duplicates_folded > 0 then
     Format.fprintf ppf "@,duplicates folded: %d" s.duplicates_folded;

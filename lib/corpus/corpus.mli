@@ -9,6 +9,7 @@ type stats = {
   total : int;  (** witnesses after dedup *)
   races : int;
   recovery_failures : int;
+  consistency_violations : int;  (** invariant-oracle findings *)
   programs : (string * int) list;  (** per-program counts, sorted by name *)
   distinct_keys : int;
       (** distinct finding keys ignoring the program — cross-program

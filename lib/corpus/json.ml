@@ -67,16 +67,23 @@ let decode_obj s =
     if peek () = Some c then incr pos
     else fail (Printf.sprintf "expected %C" c)
   in
-  (* UTF-8 encode a \uXXXX codepoint (surrogate pairs unsupported: the
-     encoder never emits them). *)
+  (* UTF-8 encode a \uXXXX codepoint (astral codepoints arrive as
+     decoded surrogate pairs, so the 4-byte plane is reachable even
+     though our encoder never emits \u escapes itself). *)
   let add_codepoint buf cp =
     if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
     end
@@ -103,13 +110,39 @@ let decode_obj s =
         | 'b' -> Buffer.add_char buf '\b'
         | 'f' -> Buffer.add_char buf '\012'
         | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some cp when cp < 0xd800 || cp > 0xdfff -> add_codepoint buf cp
-            | Some _ -> fail "surrogate pairs unsupported"
-            | None -> fail (Printf.sprintf "bad \\u escape %S" hex))
+            let read_hex4 () =
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some cp -> cp
+              | None -> fail (Printf.sprintf "bad \\u escape %S" hex)
+            in
+            let cp = read_hex4 () in
+            if cp < 0xd800 || cp > 0xdfff then add_codepoint buf cp
+            else if cp >= 0xdc00 then
+              (* A low surrogate with no preceding high surrogate. *)
+              fail (Printf.sprintf "unpaired low surrogate \\u%04X" cp)
+            else begin
+              (* High surrogate: RFC 8259 requires the low half as an
+                 immediately following \uXXXX escape. *)
+              if
+                not
+                  (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+              then fail (Printf.sprintf "unpaired high surrogate \\u%04X" cp)
+              else begin
+                pos := !pos + 2;
+                let lo = read_hex4 () in
+                if lo < 0xdc00 || lo > 0xdfff then
+                  fail
+                    (Printf.sprintf
+                       "high surrogate \\u%04X followed by non-low \\u%04X" cp
+                       lo)
+                else
+                  add_codepoint buf
+                    (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
+              end
+            end
         | c -> fail (Printf.sprintf "bad escape \\%c" c));
         loop ()
       end

@@ -2,6 +2,7 @@ module Executor = Pm_runtime.Executor
 module Scenario = Pm_harness.Scenario
 module Engine = Pm_harness.Engine
 module Finding = Pm_harness.Finding
+module Runner = Pm_harness.Runner
 
 type shrink = {
   original : Witness.t;
@@ -38,19 +39,33 @@ let minimize ~lookup (w : Witness.t) =
   | Some p -> (
       let runs = ref 0 in
       (* Run one candidate; [Some result] iff the witness key is
-         observed again. *)
+         observed again.  A consistency witness needs the oracle context
+         rebuilt per candidate (the reference runs under the candidate's
+         options — so e.g. a fuel-tightening step whose budget starves
+         the reference simply fails to reproduce and is rejected). *)
       let probe (c : cand) =
         incr runs;
+        let oracle =
+          match w.Witness.kind with
+          | Witness.Race | Witness.Recovery_failure -> None
+          | Witness.Consistency_violation -> (
+              match Runner.prepare_oracle ~options:c.options p with
+              | Some prep -> Some prep.Runner.op_ctx
+              | None -> None
+              | exception _ -> None)
+        in
         let s =
-          Scenario.of_program ~post_plan:c.post_plan ~setup:c.setup ~plan:c.plan
-            ~options:c.options p
+          Scenario.of_program ?oracle ~post_plan:c.post_plan ~setup:c.setup
+            ~plan:c.plan ~options:c.options p
         in
         let result = Engine.run_scenario s in
-        let race_keys, rf_key = Replay.observed_keys result in
+        let race_keys, rf_key, consistency_keys = Replay.observed_keys result in
         let hit =
           match w.Witness.kind with
           | Witness.Race -> List.mem w.Witness.key race_keys
           | Witness.Recovery_failure -> rf_key = Some w.Witness.key
+          | Witness.Consistency_violation ->
+              List.mem w.Witness.key consistency_keys
         in
         if hit then Some result else None
       in
@@ -167,6 +182,26 @@ let minimize ~lookup (w : Witness.t) =
                           match result with
                           | Engine.Faulted f -> Finding.to_string f.Engine.f_info
                           | Engine.Completed _ -> w.Witness.summary)
+                      | Witness.Consistency_violation -> (
+                          match result with
+                          | Engine.Completed cres -> (
+                              match
+                                List.assoc_opt w.Witness.key
+                                  cres.Engine.violations
+                              with
+                              | Some detail ->
+                                  Finding.consistency_to_string
+                                    {
+                                      Finding.c_label = w.Witness.program;
+                                      c_key = w.Witness.key;
+                                      c_detail = detail;
+                                      c_plan = Executor.plan_label cand.plan;
+                                      c_post_plan =
+                                        Executor.plan_label cand.post_plan;
+                                      c_seed = cand.options.Scenario.seed;
+                                    }
+                              | None -> w.Witness.summary)
+                          | Engine.Faulted _ -> w.Witness.summary)
                     in
                     let fuel =
                       match cand.options.Scenario.max_ops with

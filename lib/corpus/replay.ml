@@ -4,25 +4,28 @@ module Finding = Pm_harness.Finding
 let observed_keys (result : Engine.scenario_result) =
   match result with
   | Engine.Completed c ->
-      (List.map Yashme.Race.dedup_key c.Engine.races, None)
+      ( List.map Yashme.Race.dedup_key c.Engine.races,
+        None,
+        List.map fst c.Engine.violations )
   | Engine.Faulted f ->
       ( List.map Yashme.Race.dedup_key f.Engine.f_races,
-        if Finding.is_recovery_failure f.Engine.f_info then
-          Some (Finding.recovery_failure_key f.Engine.f_info)
-        else None )
+        (if Finding.is_recovery_failure f.Engine.f_info then
+           Some (Finding.recovery_failure_key f.Engine.f_info)
+         else None),
+        [] )
 
 let replay_one ~lookup (w : Witness.t) =
   match Witness.scenario_of ~lookup w with
   | Error msg -> Error msg
   | Ok scenario -> (
       let result = Engine.run_scenario scenario in
-      let race_keys, rf_key = observed_keys result in
+      let race_keys, rf_key, consistency_keys = observed_keys result in
       let seen_summary () =
         let keys =
           List.sort_uniq compare
-            (race_keys @ Option.to_list rf_key)
+            (race_keys @ Option.to_list rf_key @ consistency_keys)
         in
-        if keys = [] then "no race or recovery failure observed"
+        if keys = [] then "no race, recovery failure or violation observed"
         else "observed instead: " ^ String.concat ", " keys
       in
       match w.Witness.kind with
@@ -37,6 +40,13 @@ let replay_one ~lookup (w : Witness.t) =
           else
             Error
               (Printf.sprintf "recovery-failure key %S did not reproduce (%s)"
+                 w.Witness.key (seen_summary ()))
+      | Witness.Consistency_violation ->
+          if List.mem w.Witness.key consistency_keys then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "consistency-violation key %S did not reproduce (%s)"
                  w.Witness.key (seen_summary ())))
 
 type failure = { witness : Witness.t; reason : string }

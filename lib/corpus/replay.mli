@@ -9,7 +9,10 @@
       completed scenario, or gathered before a fault) has the same
       {!Yashme.Race.dedup_key};
     - a [recovery_failure] witness reproduces when the scenario faults
-      with the same {!Pm_harness.Finding.recovery_failure_key}.
+      with the same {!Pm_harness.Finding.recovery_failure_key};
+    - a [consistency_violation] witness reproduces when the re-attached
+      invariant oracle reports the same
+      {!Pm_harness.Finding.consistency_key}.
 
     WITCHER-style, this validates findings by re-execution: a corpus
     that replays clean means every recorded bug still exists; a replay
@@ -17,10 +20,13 @@
     worth failing CI over. *)
 
 (** Keys observed when re-running one scenario: every race key in
-    report order, plus the recovery-failure key if the scenario
-    faulted in recovery on a real crash image. *)
+    report order, the recovery-failure key if the scenario faulted in
+    recovery on a real crash image, and every oracle
+    consistency-violation key (sorted; empty without an attached oracle
+    context). *)
 val observed_keys :
-  Pm_harness.Engine.scenario_result -> string list * string option
+  Pm_harness.Engine.scenario_result ->
+  string list * string option * string list
 
 (** Replay one witness.  [Error] carries a human-readable diff: why it
     did not reproduce and which keys were seen instead. *)

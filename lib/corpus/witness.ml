@@ -4,20 +4,24 @@ module Engine = Pm_harness.Engine
 module Runner = Pm_harness.Runner
 module Finding = Pm_harness.Finding
 
-(* v2 added the "variant" options field; v1 lines (no such field) still
-   decode, defaulting to the strict-tso variant. *)
-let version = 2
+(* v3 added the "consistency_violation" kind (invariant-oracle
+   findings); the line shape is unchanged, so v2 and v1 lines still
+   decode (v1 predates the "variant" options field and defaults to the
+   strict-tso variant). *)
+let version = 3
 let oldest_readable = 1
 
-type kind = Race | Recovery_failure
+type kind = Race | Recovery_failure | Consistency_violation
 
 let kind_label = function
   | Race -> "race"
   | Recovery_failure -> "recovery_failure"
+  | Consistency_violation -> "consistency_violation"
 
 let kind_of_label = function
   | "race" -> Some Race
   | "recovery_failure" -> Some Recovery_failure
+  | "consistency_violation" -> Some Consistency_violation
   | _ -> None
 
 type t = {
@@ -98,15 +102,37 @@ let scenario_of ~lookup w =
   match lookup w.program with
   | None -> Error (Printf.sprintf "unknown program %S" w.program)
   | Some p -> (
-      match Engine.materialize_setup ~options:w.options p with
-      | setup ->
-          Ok
-            (Scenario.of_program ~post_plan:w.post_plan ~setup ~plan:w.plan
-               ~options:w.options p)
-      | exception e ->
-          Error
-            (Printf.sprintf "setup of %S raised %s" w.program
-               (Printexc.to_string e)))
+      (* A consistency witness only reproduces with its oracle context
+         re-attached: the context holds closures (never serialized), so
+         it is rebuilt here from the program's observe hook — crash-free
+         reference runs under the witness's own options, hence the same
+         inferred invariants as the original run. *)
+      let oracle () =
+        match w.kind with
+        | Race | Recovery_failure -> Ok None
+        | Consistency_violation -> (
+            match Runner.prepare_oracle ~options:w.options p with
+            | Some prep -> Ok (Some prep.Runner.op_ctx)
+            | None ->
+                Error
+                  (Printf.sprintf "program %S has no observe hook" w.program)
+            | exception e ->
+                Error
+                  (Printf.sprintf "oracle preparation for %S raised %s"
+                     w.program (Printexc.to_string e)))
+      in
+      match oracle () with
+      | Error msg -> Error msg
+      | Ok oracle -> (
+          match Engine.materialize_setup ~options:w.options p with
+          | setup ->
+              Ok
+                (Scenario.of_program ?oracle ~post_plan:w.post_plan ~setup
+                   ~plan:w.plan ~options:w.options p)
+          | exception e ->
+              Error
+                (Printf.sprintf "setup of %S raised %s" w.program
+                   (Printexc.to_string e))))
 
 (* ------------------------------------------------------------------ *)
 (* Extraction                                                           *)
@@ -145,10 +171,30 @@ let of_pairs ~program pairs =
           (of_scenario s Race (Yashme.Race.dedup_key r) (Yashme.Race.to_string r)))
       rs
   in
+  let consistencies (s : Scenario.t) (c : Engine.completed) =
+    List.iter
+      (fun (k, d) ->
+        let f =
+          {
+            Finding.c_label = c.Engine.label;
+            c_key = k;
+            c_detail = d;
+            c_plan = Executor.plan_label s.Scenario.plan;
+            c_post_plan = Executor.plan_label s.Scenario.post_plan;
+            c_seed = s.Scenario.options.Scenario.seed;
+          }
+        in
+        emit
+          (of_scenario s Consistency_violation k
+             (Finding.consistency_to_string f)))
+      c.Engine.violations
+  in
   List.iter
     (fun ((s : Scenario.t), (result : Engine.scenario_result), evidence) ->
       match (result, (evidence : Runner.evidence)) with
-      | Engine.Completed c, Runner.Full -> races s c.Engine.races
+      | Engine.Completed c, Runner.Full ->
+          races s c.Engine.races;
+          consistencies s c
       | Engine.Faulted f, Runner.Full | Engine.Faulted f, Runner.Faults_only ->
           (* Race evidence gathered before the fault only counts when
              the report kept it ([Full]); the recovery-failure finding

@@ -27,8 +27,10 @@ module Runner = Pm_harness.Runner
 
 (** Format version written to every line.  Decoding accepts
     [oldest_readable]..[version]: v1 predates the persistency-model
-    variant field, and such witnesses load with the strict-tso
-    default. *)
+    variant field (such witnesses load with the strict-tso default),
+    v2 predates the consistency-violation kind — both still decode
+    because v3 changed only the [kind] vocabulary, not the line
+    shape. *)
 val version : int
 
 val oldest_readable : int
@@ -37,6 +39,10 @@ type kind =
   | Race  (** key = {!Yashme.Race.dedup_key} of the racing store *)
   | Recovery_failure
       (** key = {!Pm_harness.Finding.recovery_failure_key} *)
+  | Consistency_violation
+      (** key = {!Pm_harness.Finding.consistency_key} — an
+          invariant-oracle finding; its scenario only reproduces with
+          the oracle context re-attached (see {!scenario_of}) *)
 
 val kind_label : kind -> string
 
@@ -64,7 +70,11 @@ val decode : string -> (t, string) result
 
 (** Rebuild the witness's failure scenario.  Runs the program's setup
     materialization, so a raising setup is reported as [Error], not an
-    exception. *)
+    exception.  For a {!Consistency_violation} witness the oracle
+    context is rebuilt from the program's observe hook via
+    {!Pm_harness.Runner.prepare_oracle} under the witness's options
+    (the context holds closures and is never serialized); a program
+    without an observe hook is an [Error]. *)
 val scenario_of :
   lookup:(string -> Pm_harness.Program.t option) ->
   t ->

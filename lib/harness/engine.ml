@@ -95,6 +95,8 @@ type completed = {
   ops : int;
   flush_points : int;
   post_flush_points : int option;
+  observed : bool;
+  violations : (string * string) list;
   wall_s : float;
 }
 
@@ -113,6 +115,7 @@ type scenario_result = Completed of completed | Faulted of fault
 let m_faults = Observe.Metrics.counter "engine/faults"
 let m_recovery_failures = Observe.Metrics.counter "engine/recovery_failures"
 let m_cancelled = Observe.Metrics.counter "engine/cancelled"
+let m_oracle_violations = Observe.Metrics.counter "oracle/violations"
 
 (* Worker-pool cost centers.  Counts and charged units are
    jobs-invariant (one queue-wait charge per claimed scenario, one work
@@ -129,6 +132,10 @@ let ct_gc_minor =
 
 let ct_gc_major =
   Observe.Attribution.center ~units:"words" ~volatile_units:true "gc/major"
+
+(* One charge per oracle observe phase, units = its operation count —
+   both jobs-invariant. *)
+let ct_oracle = Observe.Attribution.center ~units:"ops" "oracle/observe"
 
 let run_scenario (s : Scenario.t) =
   let open Scenario in
@@ -175,6 +182,16 @@ let run_scenario (s : Scenario.t) =
           in
           Some r.Executor.state
     in
+    (* The oracle replays the whole chain from the same durable base
+       under [Cut_lowerbound], so duplicate the hydrated setup image
+       before the pre phase consumes it (copy cost paid only when an
+       oracle context is attached). *)
+    let oracle_base =
+      match (s.oracle, inherited) with
+      | Some _, Some st -> Some (Some (Px86.Crashstate.copy st))
+      | Some _, None -> Some None
+      | None, _ -> None
+    in
     phase := Finding.Pre_crash;
     let pre_result =
       note
@@ -215,6 +232,82 @@ let run_scenario (s : Scenario.t) =
                fired
          end
     in
+    (* Invariant-oracle observe phase: only when an oracle context is
+       attached and the chain really crashed and recovered — a clean
+       run has nothing to diff.  The scenario's own chain materializes
+       crashes with the configured cut (default [Cut_all], the maximal
+       recovery view the race detector wants), so the oracle replays
+       the identical chain — same plans, same seeds, hence the same
+       schedules and crash points — under [Cut_lowerbound]: the image
+       holding only what flushes {e guarantee}, the states a real
+       power failure is allowed to expose.  Recovery runs over that
+       image too (recovery may legitimately repair), then the observe
+       hook snapshots the recovered store and the check diffs it
+       against the invariant-reachable states.  All replay executions
+       are detector-free (observation never adds races) and inside the
+       sandbox, so a throwing hook is a contained [Observe]-phase
+       fault.  None of this runs without an oracle context, keeping
+       oracle-off runs byte-identical. *)
+    let observed = ref false in
+    let violations = ref [] in
+    (match (s.oracle, oracle_base) with
+    | Some oc, Some base when chain_crashed ->
+        phase := Finding.Observe;
+        let lopts = { opts with Scenario.cut = Px86.Machine.Cut_lowerbound } in
+        let o_ops = ref 0 in
+        let track (r : Executor.result) =
+          o_ops := !o_ops + r.Executor.ops;
+          note (count r)
+        in
+        let o_pre =
+          track
+            (run_phase ?inherited:base ~options:lopts ~plan:s.plan
+               ~seed:opts.seed ~exec_id:(post_exec + 2) s.pre)
+        in
+        let o_final =
+          if not (crash_fired ~plan:s.plan o_pre) then None
+          else
+            let o_r1 =
+              track
+                (run_phase ~options:lopts ~inherited:o_pre.Executor.state
+                   ~plan:s.post_plan ~seed:(opts.seed + 1)
+                   ~exec_id:(post_exec + 3) s.post)
+            in
+            match s.post_plan with
+            | Executor.Run_to_end -> Some o_r1.Executor.state
+            | _ ->
+                if not (crash_fired ~plan:s.post_plan o_r1) then None
+                else
+                  let o_r2 =
+                    track
+                      (run_recovery ~options:lopts
+                         ~inherited:o_r1.Executor.state ~seed:(opts.seed + 2)
+                         ~exec_id:(post_exec + 4) s.post)
+                  in
+                  Some o_r2.Executor.state
+        in
+        (match o_final with
+        | None -> ()
+        | Some st ->
+            let snap = ref [] in
+            ignore
+              (track
+                 (run_phase ~options:lopts ~inherited:st
+                    ~plan:Executor.Run_to_end ~seed:(opts.seed + 3)
+                    ~exec_id:(post_exec + 5) (fun () ->
+                      snap := oc.oc_observe ())));
+            observed := true;
+            Observe.Coverage.oracle_checked ();
+            if Observe.Attribution.is_enabled () then
+              Observe.Attribution.charge ct_oracle ~count:1 ~units:!o_ops ();
+            let vs = oc.oc_check ~observed:!snap in
+            List.iter
+              (fun _ ->
+                Observe.Coverage.oracle_violation ();
+                Observe.Metrics.incr m_oracle_violations)
+              vs;
+            violations := vs)
+    | (Some _ | None), _ -> ());
     {
       label = s.label;
       races = Yashme.Detector.races detector;
@@ -224,6 +317,8 @@ let run_scenario (s : Scenario.t) =
       ops = !ops;
       flush_points = pre_result.Executor.flush_points;
       post_flush_points = !post_flush_points;
+      observed = !observed;
+      violations = !violations;
       wall_s = now () -. t0;
     }
   in
@@ -325,6 +420,8 @@ type completed_sig = {
   sig_ops : int;
   sig_flush_points : int;
   sig_post_flush_points : int option;
+  sig_observed : bool;
+  sig_violations : (string * string) list;
 }
 
 type fault_sig = {
@@ -354,6 +451,8 @@ let signature = function
           sig_ops = r.ops;
           sig_flush_points = r.flush_points;
           sig_post_flush_points = r.post_flush_points;
+          sig_observed = r.observed;
+          sig_violations = r.violations;
         }
   | Faulted f ->
       Sig_faulted

@@ -131,6 +131,12 @@ type completed = {
   post_flush_points : int option;
       (** flush points of the first recovery run, when it ran — the
           probe datum two-crash drivers need *)
+  observed : bool;
+      (** the oracle observe phase ran (oracle context attached and the
+          chain crashed and recovered) *)
+  violations : (string * string) list;
+      (** oracle (key, detail) violations, sorted by key; empty unless
+          [observed] *)
   wall_s : float;
 }
 
@@ -196,6 +202,8 @@ type completed_sig = {
   sig_ops : int;
   sig_flush_points : int;
   sig_post_flush_points : int option;
+  sig_observed : bool;
+  sig_violations : (string * string) list;
 }
 
 type fault_sig = {

@@ -1,10 +1,11 @@
-type phase = Setup | Pre_crash | Recovery of int
+type phase = Setup | Pre_crash | Recovery of int | Observe
 
 let phase_label = function
   | Setup -> "setup"
   | Pre_crash -> "pre"
   | Recovery 0 -> "recovery"
   | Recovery n -> Printf.sprintf "recovery#%d" (n + 1)
+  | Observe -> "observe"
 
 type fault = {
   label : string;
@@ -18,7 +19,13 @@ type fault = {
 }
 
 let is_recovery_failure f =
-  f.crash_fired && (match f.phase with Recovery _ -> true | Setup | Pre_crash -> false)
+  f.crash_fired
+  &&
+  match f.phase with
+  | Recovery _ -> true
+  (* A throwing [observe] hook is an oracle-instrumentation fault, not
+     evidence against the recovery code: contained, never a finding. *)
+  | Setup | Pre_crash | Observe -> false
 
 (* The dedup key deliberately excludes the backtrace (whose rendering
    depends on the build) and the seed (reported separately as the repro
@@ -42,3 +49,27 @@ let pp ppf f =
     f.exn_text
 
 let to_string f = Format.asprintf "%a" pp f
+
+(* A consistency violation from the invariant oracle.  Its dedup key is
+   the oracle's plan-free violation key — like a race key, one broken
+   invariant observed from several crash plans folds to one finding;
+   the plan and seed of the first observation travel along as the repro
+   handle. *)
+type consistency = {
+  c_label : string;
+  c_key : string;
+  c_detail : string;
+  c_plan : string;
+  c_post_plan : string;
+  c_seed : int;
+}
+
+let consistency_key c = c.c_key
+
+let pp_consistency ppf c =
+  Format.fprintf ppf "%s: %s (e.g. @@ %s%s, seed %d)" c.c_key c.c_detail
+    c.c_plan
+    (if c.c_post_plan = "run_to_end" then "" else "+" ^ c.c_post_plan)
+    c.c_seed
+
+let consistency_to_string c = Format.asprintf "%a" pp_consistency c

@@ -25,6 +25,10 @@ type phase =
   | Recovery of int
       (** [Recovery 0] is the first recovery; [Recovery 1] the second
           recovery of a two-crash scenario *)
+  | Observe
+      (** the oracle's [observe] snapshot hook, run after recovery; a
+          fault here is contained instrumentation failure, never a
+          recovery failure *)
 
 val phase_label : phase -> string
 
@@ -53,3 +57,20 @@ val make_recovery_failure_key :
 
 val pp : Format.formatter -> fault -> unit
 val to_string : fault -> string
+
+(** A crash-consistency violation from the invariant oracle
+    ({!Pm_oracle.Check}): the post-crash-recovery observation reached a
+    state no reference execution's invariants allow. *)
+type consistency = {
+  c_label : string;  (** scenario label (program name) *)
+  c_key : string;
+      (** the oracle's plan-free violation key — the dedup identity *)
+  c_detail : string;  (** human-readable exemplar *)
+  c_plan : string;  (** crash plan of the witnessing scenario *)
+  c_post_plan : string;
+  c_seed : int;
+}
+
+val consistency_key : consistency -> string
+val pp_consistency : Format.formatter -> consistency -> unit
+val consistency_to_string : consistency -> string

@@ -3,6 +3,8 @@ type t = {
   setup : (unit -> unit) option;
   pre : unit -> unit;
   post : unit -> unit;
+  observe : (unit -> (string * string) list) option;
 }
 
-let make ?setup ~name ~pre ~post () = { name; setup; pre; post }
+let make ?setup ?observe ~name ~pre ~post () =
+  { name; setup; pre; post; observe }

@@ -7,7 +7,14 @@ type t = {
           before the crashy phase (e.g. creating the pool) *)
   pre : unit -> unit;  (** the pre-crash workload *)
   post : unit -> unit;  (** the post-crash recovery / reader *)
+  observe : (unit -> (string * string) list) option;
+      (** optional state snapshot for the invariant oracle: read the
+          recovered structure's observable fields as (name, value)
+          pairs.  Runs inside the executor (so it may use {!Pm_runtime.Pmem}
+          loads) but with no detector attached — observation never
+          perturbs race reports.  Only consulted under [--oracle]. *)
 }
 
-val make : ?setup:(unit -> unit) -> name:string -> pre:(unit -> unit) ->
-  post:(unit -> unit) -> unit -> t
+val make : ?setup:(unit -> unit) ->
+  ?observe:(unit -> (string * string) list) -> name:string ->
+  pre:(unit -> unit) -> post:(unit -> unit) -> unit -> t

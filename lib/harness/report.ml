@@ -11,6 +11,12 @@ type recovery_failure = {
   rf_count : int;
 }
 
+type consistency_violation = {
+  cv_key : string;
+  cv_example : Finding.consistency;
+  cv_count : int;
+}
+
 type t = {
   program : string;
   variant : string;
@@ -21,6 +27,10 @@ type t = {
   raw_races : int;
   findings : finding list;
   recovery_failures : recovery_failure list;
+  consistency_violations : consistency_violation list;
+      (* invariant-oracle findings, sorted by key; empty unless the run
+         attached an oracle context, so oracle-off reports are
+         byte-identical to pre-oracle output *)
   fault_count : int;
   diverged : int;
   metrics : (string * int) list;
@@ -36,12 +46,15 @@ type t = {
       (* cost-center rows attributed to this report (attached by the
          CLI under --attribution / --ledger); excluded from
          [pp]/[to_string] — rendered by [pp_attribution] *)
+  oracle : string list option;
+      (* the inferred invariant labels ([--oracle] only); rendered by
+         [pp_oracle], never by [pp]/[to_string] *)
 }
 
 let m_duplicates = Observe.Metrics.counter "report/duplicate_races"
 
 let dedup ~program ?(variant = Px86.Variant.default_label) ~executions
-    ?(faults = []) ?(diverged = 0) races =
+    ?(faults = []) ?(consistency = []) ?(diverged = 0) races =
   let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (r : Yashme.Race.t) ->
@@ -83,6 +96,21 @@ let dedup ~program ?(variant = Px86.Variant.default_label) ~executions
     Hashtbl.fold (fun _ r acc -> r :: acc) rf_tbl []
     |> List.sort (fun a b -> compare a.rf_key b.rf_key)
   in
+  (* Consistency violations arrive in submission order; like recovery
+     failures, the exemplar of each key is the first observation. *)
+  let cv_tbl : (string, consistency_violation) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Finding.consistency) ->
+      let key = Finding.consistency_key c in
+      match Hashtbl.find_opt cv_tbl key with
+      | None ->
+          Hashtbl.add cv_tbl key { cv_key = key; cv_example = c; cv_count = 1 }
+      | Some v -> Hashtbl.replace cv_tbl key { v with cv_count = v.cv_count + 1 })
+    consistency;
+  let consistency_violations =
+    Hashtbl.fold (fun _ v acc -> v :: acc) cv_tbl []
+    |> List.sort (fun a b -> compare a.cv_key b.cv_key)
+  in
   {
     program;
     variant;
@@ -90,14 +118,17 @@ let dedup ~program ?(variant = Px86.Variant.default_label) ~executions
     raw_races = List.length races;
     findings;
     recovery_failures;
+    consistency_violations;
     fault_count = !fault_count;
     diverged;
     metrics = [];
     coverage = None;
     attribution = [];
+    oracle = None;
   }
 
 let with_metrics t metrics = { t with metrics }
+let with_oracle t invariants = { t with oracle = Some invariants }
 let with_coverage t coverage = { t with coverage = Some coverage }
 let with_attribution t attribution = { t with attribution }
 
@@ -108,11 +139,17 @@ let benign t = List.filter (fun f -> f.benign) t.findings
    emitted for a run must map onto exactly these keys. *)
 let keys t = List.map (fun f -> f.label) t.findings
 let recovery_failure_keys t = List.map (fun r -> r.rf_key) t.recovery_failures
+let consistency_keys t = List.map (fun v -> v.cv_key) t.consistency_violations
 
 let pp_recovery_failure ppf r =
   Format.fprintf ppf "[recovery-failure] %s (seed %d) (%d report%s)" r.rf_key
     r.rf_example.Finding.seed r.rf_count
     (if r.rf_count = 1 then "" else "s")
+
+let pp_consistency_violation ppf v =
+  Format.fprintf ppf "[consistency-violation] %s (seed %d) (%d report%s)"
+    v.cv_key v.cv_example.Finding.c_seed v.cv_count
+    (if v.cv_count = 1 then "" else "s")
 
 let pp_contained ppf t =
   if t.fault_count > 0 || t.diverged > 0 then
@@ -138,6 +175,9 @@ let pp ppf t =
   List.iter
     (fun r -> Format.fprintf ppf "@,  %a" pp_recovery_failure r)
     t.recovery_failures;
+  List.iter
+    (fun v -> Format.fprintf ppf "@,  %a" pp_consistency_violation v)
+    t.consistency_violations;
   pp_contained ppf t;
   Format.fprintf ppf "@]"
 
@@ -160,6 +200,28 @@ let pp_coverage ppf t =
   | Some c -> Observe.Coverage.pp ppf c
 
 let coverage_to_string t = Format.asprintf "%a" pp_coverage t
+
+(* The [oracle] block: the inferred invariant set plus per-violation
+   detail.  Deterministic — the invariant list is sorted at inference
+   and violations are sorted by key — so the block is byte-identical
+   across --jobs counts. *)
+let pp_oracle ppf t =
+  match t.oracle with
+  | None -> Format.fprintf ppf "[oracle] %s: (not run)" t.program
+  | Some invariants ->
+      Format.fprintf ppf
+        "@[<v>[oracle] %s: %d inferred invariant(s), %d violation(s)"
+        t.program (List.length invariants)
+        (List.length t.consistency_violations);
+      List.iter (fun l -> Format.fprintf ppf "@,  %s" l) invariants;
+      List.iter
+        (fun v ->
+          Format.fprintf ppf "@,  %s: %s" v.cv_key
+            v.cv_example.Finding.c_detail)
+        t.consistency_violations;
+      Format.fprintf ppf "@]"
+
+let oracle_to_string t = Format.asprintf "%a" pp_oracle t
 
 let pp_attribution ppf t =
   if t.attribution = [] then

@@ -29,6 +29,12 @@ type recovery_failure = {
   rf_count : int;  (** raw faults collapsed into this finding *)
 }
 
+type consistency_violation = {
+  cv_key : string;  (** the oracle's plan-free violation key *)
+  cv_example : Finding.consistency;  (** first observation *)
+  cv_count : int;  (** raw observations collapsed into this finding *)
+}
+
 type t = {
   program : string;
   variant : string;
@@ -40,6 +46,10 @@ type t = {
   raw_races : int;
   findings : finding list;  (** sorted by label *)
   recovery_failures : recovery_failure list;  (** sorted by key *)
+  consistency_violations : consistency_violation list;
+      (** invariant-oracle findings, sorted by key; always empty when
+          no oracle context was attached, so oracle-off reports render
+          byte-identically to pre-oracle output *)
   fault_count : int;
       (** contained faults that are {e not} recovery failures (setup or
           pre-crash phase, or a recovery raising without a crash) *)
@@ -58,6 +68,10 @@ type t = {
           (empty unless attached with {!with_attribution}).  Never
           rendered by {!pp}/{!to_string} for the same byte-identity
           reason — rendered by {!pp_attribution}. *)
+  oracle : string list option;
+      (** inferred invariant labels ([None] unless attached with
+          {!with_oracle}).  Never rendered by {!pp}/{!to_string} —
+          rendered by {!pp_oracle}. *)
 }
 
 (** Deduplicate raw races by field label and [faults] (submission
@@ -70,6 +84,7 @@ val dedup :
   ?variant:string ->
   executions:int ->
   ?faults:Finding.fault list ->
+  ?consistency:Finding.consistency list ->
   ?diverged:int ->
   Yashme.Race.t list ->
   t
@@ -81,6 +96,10 @@ val with_metrics : t -> (string * int) list -> t
 (** Attach the program's crash-space coverage
     ({!Observe.Coverage.find}). *)
 val with_coverage : t -> Observe.Coverage.stats -> t
+
+(** Attach the oracle's inferred invariant labels
+    ({!Pm_oracle.Invariant.label} of each, sorted). *)
+val with_oracle : t -> string list -> t
 
 (** Attach cost-attribution rows (an {!Observe.Attribution.diff}
     covering this report's run). *)
@@ -98,8 +117,14 @@ val keys : t -> string list
 (** Recovery-failure keys, in report order. *)
 val recovery_failure_keys : t -> string list
 
+(** Consistency-violation keys, in report order. *)
+val consistency_keys : t -> string list
+
 (** Render one recovery-failure finding (key, repro seed, count). *)
 val pp_recovery_failure : Format.formatter -> recovery_failure -> unit
+
+(** Render one consistency-violation finding (key, repro seed, count). *)
+val pp_consistency_violation : Format.formatter -> consistency_violation -> unit
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
@@ -114,6 +139,13 @@ val metrics_to_string : t -> string
 val pp_coverage : Format.formatter -> t -> unit
 
 val coverage_to_string : t -> string
+
+(** Render the [\[oracle\]] block: inferred invariant set plus
+    per-violation detail, byte-identical across [--jobs] counts; a
+    ["(not run)"] placeholder when no oracle was attached. *)
+val pp_oracle : Format.formatter -> t -> unit
+
+val oracle_to_string : t -> string
 
 (** Render the attached [\[attribution\]] cost-center table
     ({!Observe.Attribution.pp}, wall clocks included), or a

@@ -85,6 +85,95 @@ let run_once_traced ?(options = default_options) ~plan (p : Program.t) =
   (detector, trace)
 
 (* ------------------------------------------------------------------ *)
+(* Invariant-oracle reference preparation                               *)
+
+let m_oracle_invariants = Observe.Metrics.counter "oracle/invariants"
+
+type oracle_prep = {
+  op_invariants : Pm_oracle.Invariant.t list;
+  op_ctx : Scenario.oracle;
+}
+
+(* Build the oracle context for [p]: run the crash-free reference
+   pipeline (recovery over a clean workload-free image for the init
+   observation; traced workload to completion plus recovery for the
+   final observation), infer invariants from the workload trace unless
+   a pre-inferred set is supplied, and close the checker over the
+   resulting reference.  [None] when the program has no [observe] hook.
+   Runs detector-free — reference executions contribute nothing to race
+   reports — and raises on reference faults (callers guard, e.g. with
+   {!guarded_probe}). *)
+let prepare_oracle ?(options = default_options) ?invariants (p : Program.t) =
+  match p.Program.observe with
+  | None -> None
+  | Some observe ->
+      let setup = Engine.materialize_setup ~options p in
+      let hydrate () =
+        match setup with
+        | Scenario.No_setup -> None
+        | Scenario.Snapshot cs -> Some (Px86.Crashstate.copy cs)
+        | Scenario.Run_setup _ -> run_setup options p
+      in
+      let observe_on st =
+        let out = ref [] in
+        ignore
+          (Engine.run_phase ~inherited:st ~options ~plan:Executor.Run_to_end
+             ~seed:(options.seed + 3)
+             ~exec_id:(post_exec + 2)
+             (fun () -> out := observe ()));
+        !out
+      in
+      (* Init: recovery over a cleanly-shut-down image the workload
+         never touched. *)
+      let r_init =
+        let r =
+          Engine.run_phase ?inherited:(hydrate ()) ~options
+            ~plan:Executor.Run_to_end ~seed:(options.seed + 1)
+            ~exec_id:post_exec p.Program.post
+        in
+        observe_on r.Executor.state
+      in
+      (* Final: the workload runs to clean completion (traced), then
+         recovery. *)
+      let trace, trace_observer = Px86.Trace.recorder () in
+      let pre_r =
+        Engine.run_phase ?inherited:(hydrate ()) ~observer:trace_observer
+          ~options ~plan:Executor.Run_to_end ~seed:options.seed
+          ~exec_id:pre_exec p.Program.pre
+      in
+      let post_r =
+        Engine.run_recovery ~options ~inherited:pre_r.Executor.state
+          ~seed:(options.seed + 1) ~exec_id:post_exec p.Program.post
+      in
+      let r_final = observe_on post_r.Executor.state in
+      let r_invariants =
+        match invariants with
+        | Some invs -> List.sort_uniq Pm_oracle.Invariant.compare invs
+        | None -> Pm_oracle.Invariant.infer (Px86.Trace.entries trace)
+      in
+      List.iter
+        (fun _ -> Observe.Metrics.incr m_oracle_invariants)
+        r_invariants;
+      let reference = { Pm_oracle.Check.r_init; r_final; r_invariants } in
+      Some
+        {
+          op_invariants = r_invariants;
+          op_ctx =
+            {
+              Scenario.oc_observe = observe;
+              oc_check =
+                (fun ~observed ->
+                  List.map
+                    (fun (v : Pm_oracle.Check.violation) ->
+                      (v.Pm_oracle.Check.v_key, v.Pm_oracle.Check.v_detail))
+                    (Pm_oracle.Check.check reference ~observed));
+            };
+        }
+
+let oracle_invariant_labels prep =
+  List.map Pm_oracle.Invariant.label prep.op_invariants
+
+(* ------------------------------------------------------------------ *)
 (* Model checking: one scenario per flush point (plus crash-at-end),    *)
 (* explored by the engine.                                              *)
 
@@ -132,14 +221,21 @@ let empty_stats ~jobs =
   }
 
 (* Build the per-program report of an engine run: deduplicated races,
-   recovery-failure witnesses and contained-fault counts, all derived
-   from the submission-ordered result list. *)
-let report_of_run ~program ~(options : options) ~executions run =
-  Report.dedup ~program
-    ~variant:(Px86.Variant.label options.variant)
-    ~executions ~faults:(Engine.faults run)
-    ~diverged:(Engine.diverged_count run)
-    (Engine.races run)
+   recovery-failure witnesses, consistency violations and
+   contained-fault counts, all derived from the submission-ordered
+   result list. *)
+let report_of_run ~program ~(options : options) ~executions ?consistency
+    ?oracle run =
+  let r =
+    Report.dedup ~program
+      ~variant:(Px86.Variant.label options.variant)
+      ~executions ~faults:(Engine.faults run) ?consistency
+      ~diverged:(Engine.diverged_count run)
+      (Engine.races run)
+  in
+  match oracle with
+  | None -> r
+  | Some invariants -> Report.with_oracle r invariants
 
 (* ------------------------------------------------------------------ *)
 (* Outcomes: report + stats + the scenario/result pairs behind them    *)
@@ -167,31 +263,60 @@ let probe_outcome ~program ~(options : options) ~jobs fault =
 let full_pairs scenarios (run : Engine.run_result) =
   List.map2 (fun s r -> (s, r, Full)) scenarios run.Engine.results
 
+(* Consistency findings of a run's [Full] pairs, in submission order —
+   mirrors exactly which violations the corpus extractor will emit. *)
+let consistencies_of_pairs pairs =
+  List.concat_map
+    (fun ((s : Scenario.t), (r : Engine.scenario_result), ev) ->
+      match (r, ev) with
+      | Engine.Completed c, Full ->
+          List.map
+            (fun (key, detail) ->
+              {
+                Finding.c_label = s.Scenario.label;
+                c_key = key;
+                c_detail = detail;
+                c_plan = Executor.plan_label s.Scenario.plan;
+                c_post_plan = Executor.plan_label s.Scenario.post_plan;
+                c_seed = s.Scenario.options.Scenario.seed;
+              })
+            c.Engine.violations
+      | (Engine.Completed _ | Engine.Faulted _), _ -> [])
+    pairs
+
 let model_check_outcome ?(options = default_options) ?(jobs = 1)
-    ?(fail_fast = false) (p : Program.t) =
+    ?(fail_fast = false) ?(oracle = false) ?invariants (p : Program.t) =
   match
     guarded_probe ~options p (fun () ->
         let setup = Engine.materialize_setup ~options p in
-        (setup, count_points ~options ~setup p))
+        let prep =
+          if oracle then prepare_oracle ~options ?invariants p else None
+        in
+        (setup, count_points ~options ~setup p, prep))
   with
   | Error fault -> probe_outcome ~program:p.Program.name ~options ~jobs fault
-  | Ok (setup, points) ->
+  | Ok (setup, points, prep) ->
+      let octx = Option.map (fun pr -> pr.op_ctx) prep in
       let scenarios =
         List.map
-          (fun plan -> Scenario.of_program ~setup ~plan ~options p)
+          (fun plan -> Scenario.of_program ?oracle:octx ~setup ~plan ~options p)
           (model_check_plans points)
       in
       let run = Engine.run ~jobs ~fail_fast scenarios in
+      let pairs = full_pairs scenarios run in
       {
         o_report =
           report_of_run ~program:p.Program.name ~options
-            ~executions:(List.length scenarios) run;
+            ~executions:(List.length scenarios)
+            ~consistency:(consistencies_of_pairs pairs)
+            ?oracle:(Option.map oracle_invariant_labels prep)
+            run;
         o_stats = run.Engine.stats;
-        o_pairs = full_pairs scenarios run;
+        o_pairs = pairs;
       }
 
-let model_check_run ?options ?jobs ?fail_fast p =
-  let o = model_check_outcome ?options ?jobs ?fail_fast p in
+let model_check_run ?options ?jobs ?fail_fast ?oracle p =
+  let o = model_check_outcome ?options ?jobs ?fail_fast ?oracle p in
   (o.o_report, o.o_stats)
 
 let model_check ?options ?jobs ?fail_fast p =
@@ -224,15 +349,17 @@ let model_check_seq ?(options = default_options) (p : Program.t) =
    own flush points; wave 2 explores the (pre point x recovery point)
    grid.  Both waves are engine batches. *)
 let model_check_recovery_outcome ?(options = default_options) ?(jobs = 1)
-    ?(fail_fast = false) (p : Program.t) =
+    ?(fail_fast = false) ?(oracle = false) (p : Program.t) =
   let program = p.Program.name ^ "+recovery" in
   match
     guarded_probe ~options p (fun () ->
         let setup = Engine.materialize_setup ~options p in
-        (setup, count_points ~options ~setup p))
+        let prep = if oracle then prepare_oracle ~options p else None in
+        (setup, count_points ~options ~setup p, prep))
   with
   | Error fault -> probe_outcome ~program ~options ~jobs fault
-  | Ok (setup, points) ->
+  | Ok (setup, points, prep) ->
+      let octx = Option.map (fun pr -> pr.op_ctx) prep in
       let pre_plans = model_check_plans points in
       let probe_scenarios =
         List.map (fun plan -> Scenario.of_program ~setup ~plan ~options p) pre_plans
@@ -252,7 +379,7 @@ let model_check_recovery_outcome ?(options = default_options) ?(jobs = 1)
                     Option.value ~default:0 c.Engine.post_flush_points
                   in
                   List.init post_points (fun post_n ->
-                      Scenario.of_program ~setup ~plan
+                      Scenario.of_program ?oracle:octx ~setup ~plan
                         ~post_plan:(Executor.Crash_before_flush post_n)
                         ~options p))
           (List.combine pre_plans probes.Engine.results)
@@ -285,20 +412,28 @@ let model_check_recovery_outcome ?(options = default_options) ?(jobs = 1)
       in
       (* Probe-wave faults and divergences ride along, in probe-then-grid
          submission order. *)
+      let report =
+        Report.dedup ~program
+          ~variant:(Px86.Variant.label options.variant)
+          ~executions
+          ~faults:(Engine.faults probes @ Engine.faults run)
+          ~consistency:(consistencies_of_pairs grid_pairs)
+          ~diverged:(Engine.diverged_count probes + Engine.diverged_count run)
+          (Engine.races ~keep run)
+      in
+      let report =
+        match prep with
+        | None -> report
+        | Some pr -> Report.with_oracle report (oracle_invariant_labels pr)
+      in
       {
-        o_report =
-          Report.dedup ~program
-            ~variant:(Px86.Variant.label options.variant)
-            ~executions
-            ~faults:(Engine.faults probes @ Engine.faults run)
-            ~diverged:(Engine.diverged_count probes + Engine.diverged_count run)
-            (Engine.races ~keep run);
+        o_report = report;
         o_stats = run.Engine.stats;
         o_pairs = probe_pairs @ grid_pairs;
       }
 
-let model_check_recovery_run ?options ?jobs ?fail_fast p =
-  let o = model_check_recovery_outcome ?options ?jobs ?fail_fast p in
+let model_check_recovery_run ?options ?jobs ?fail_fast ?oracle p =
+  let o = model_check_recovery_outcome ?options ?jobs ?fail_fast ?oracle p in
   (o.o_report, o.o_stats)
 
 let model_check_recovery ?options ?jobs ?fail_fast p =
@@ -389,21 +524,37 @@ let random_scenarios ~options ~execs (p : Program.t) =
   build 0 []
 
 let random_mode_outcome ?(options = default_options) ?(jobs = 1)
-    ?(fail_fast = false) ~execs (p : Program.t) =
+    ?(fail_fast = false) ?(oracle = false) ~execs (p : Program.t) =
   let options = { options with seed = program_seed p options.seed } in
-  match guarded_probe ~options p (fun () -> random_scenarios ~options ~execs p)
+  match
+    guarded_probe ~options p (fun () ->
+        let prep = if oracle then prepare_oracle ~options p else None in
+        (random_scenarios ~options ~execs p, prep))
   with
   | Error fault -> probe_outcome ~program:p.Program.name ~options ~jobs fault
-  | Ok scenarios ->
+  | Ok (scenarios, prep) ->
+      let scenarios =
+        match prep with
+        | None -> scenarios
+        | Some pr ->
+            List.map
+              (fun (s : Scenario.t) -> { s with Scenario.oracle = Some pr.op_ctx })
+              scenarios
+      in
       let run = Engine.run ~jobs ~fail_fast scenarios in
+      let pairs = full_pairs scenarios run in
       {
-        o_report = report_of_run ~program:p.Program.name ~options ~executions:execs run;
+        o_report =
+          report_of_run ~program:p.Program.name ~options ~executions:execs
+            ~consistency:(consistencies_of_pairs pairs)
+            ?oracle:(Option.map oracle_invariant_labels prep)
+            run;
         o_stats = run.Engine.stats;
-        o_pairs = full_pairs scenarios run;
+        o_pairs = pairs;
       }
 
-let random_mode_run ?options ?jobs ?fail_fast ~execs p =
-  let o = random_mode_outcome ?options ?jobs ?fail_fast ~execs p in
+let random_mode_run ?options ?jobs ?fail_fast ?oracle ~execs p =
+  let o = random_mode_outcome ?options ?jobs ?fail_fast ?oracle ~execs p in
   (o.o_report, o.o_stats)
 
 let random_mode ?options ?jobs ?fail_fast ~execs p =

@@ -68,6 +68,38 @@ val run_once_traced :
   Program.t ->
   Yashme.Detector.t * Px86.Trace.t
 
+(** {2 The invariant oracle}
+
+    With [?oracle:true], each driver prepares a WITCHER-style oracle
+    context before exploration: the crash-free reference pipeline runs
+    (recovery over a clean workload-free image, then a traced full
+    workload run plus recovery), invariants are inferred from the
+    workload trace ({!Pm_oracle.Invariant.infer}), and every scenario
+    carries the resulting {!Scenario.oracle} context so the engine
+    checks each crashed-and-recovered state.  Violations surface as
+    {!Report.consistency_violations} and the inferred invariant labels
+    are attached for {!Report.pp_oracle}.  Programs without an
+    [observe] hook run exactly as with the oracle off. *)
+
+type oracle_prep = {
+  op_invariants : Pm_oracle.Invariant.t list;  (** sorted *)
+  op_ctx : Scenario.oracle;
+}
+
+(** Build the oracle context for a program: [None] when it has no
+    [observe] hook.  [invariants] substitutes a pre-inferred set (the
+    [oracle check --invariants] path) for trace inference.  Reference
+    executions run detector-free and contribute nothing to race
+    reports.  Raises on reference faults — callers guard (the drivers
+    use their probe guard). *)
+val prepare_oracle :
+  ?options:options ->
+  ?invariants:Pm_oracle.Invariant.t list ->
+  Program.t ->
+  oracle_prep option
+
+val oracle_invariant_labels : oracle_prep -> string list
+
 (** {2 Outcomes}
 
     The corpus subsystem needs more than the deduplicated report: to
@@ -91,18 +123,37 @@ type outcome = {
 }
 
 val model_check_outcome :
-  ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> outcome
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  ?oracle:bool ->
+  ?invariants:Pm_oracle.Invariant.t list ->
+  Program.t ->
+  outcome
 
 val model_check_recovery_outcome :
-  ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> outcome
+  ?options:options ->
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  ?oracle:bool ->
+  Program.t ->
+  outcome
 
 val random_mode_outcome :
   ?options:options ->
   ?jobs:int ->
   ?fail_fast:bool ->
+  ?oracle:bool ->
   execs:int ->
   Program.t ->
   outcome
+
+(** Consistency findings of an outcome's [Full] pairs, in submission
+    order — what {!Report.dedup} received and the corpus extractor
+    emits. *)
+val consistencies_of_pairs :
+  (Scenario.t * Engine.scenario_result * evidence) list ->
+  Finding.consistency list
 
 val model_check :
   ?options:options -> ?jobs:int -> ?fail_fast:bool -> Program.t -> Report.t
@@ -113,6 +164,7 @@ val model_check_run :
   ?options:options ->
   ?jobs:int ->
   ?fail_fast:bool ->
+  ?oracle:bool ->
   Program.t ->
   Report.t * Engine.stats
 
@@ -127,6 +179,7 @@ val model_check_recovery_run :
   ?options:options ->
   ?jobs:int ->
   ?fail_fast:bool ->
+  ?oracle:bool ->
   Program.t ->
   Report.t * Engine.stats
 
@@ -142,6 +195,7 @@ val random_mode_run :
   ?options:options ->
   ?jobs:int ->
   ?fail_fast:bool ->
+  ?oracle:bool ->
   execs:int ->
   Program.t ->
   Report.t * Engine.stats

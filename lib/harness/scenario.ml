@@ -151,6 +151,17 @@ type setup =
   | Snapshot of Px86.Crashstate.t
   | Run_setup of (unit -> unit)
 
+(* The invariant-oracle context a driver may attach: a state snapshot
+   hook and a checker closed over the crash-free reference.  Closures,
+   never serialized — a corpus witness records only that the oracle was
+   involved (its kind) and the context is rebuilt from the program at
+   replay time. *)
+type oracle = {
+  oc_observe : unit -> (string * string) list;
+  oc_check : observed:(string * string) list -> (string * string) list;
+      (** (plan-free violation key, human detail) pairs, sorted *)
+}
+
 type t = {
   label : string;
   setup : setup;
@@ -159,14 +170,15 @@ type t = {
   plan : Executor.plan;
   post_plan : Executor.plan;
   options : options;
+  oracle : oracle option;
 }
 
-let make ?(post_plan = Executor.Run_to_end) ~label ~setup ~pre ~post ~plan
-    ~options () =
-  { label; setup; pre; post; plan; post_plan; options }
+let make ?(post_plan = Executor.Run_to_end) ?oracle ~label ~setup ~pre ~post
+    ~plan ~options () =
+  { label; setup; pre; post; plan; post_plan; options; oracle }
 
-let of_program ?post_plan ~setup ~plan ~options (p : Program.t) =
-  make ?post_plan ~label:p.Program.name ~setup ~pre:p.Program.pre
+let of_program ?post_plan ?oracle ~setup ~plan ~options (p : Program.t) =
+  make ?post_plan ?oracle ~label:p.Program.name ~setup ~pre:p.Program.pre
     ~post:p.Program.post ~plan ~options ()
 
 (* [Cut_random] carries a mutable Rng shared by every scenario built

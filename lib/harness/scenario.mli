@@ -65,6 +65,18 @@ type setup =
   | Snapshot of Px86.Crashstate.t
   | Run_setup of (unit -> unit)
 
+(** The invariant-oracle context a driver may attach ([--oracle]): the
+    program's [observe] snapshot hook plus a checker closed over the
+    crash-free reference ({!Runner.prepare_oracle} builds it).  Pure
+    description like the rest of the scenario; never serialized — a
+    consistency witness rebuilds the context from the program at replay
+    time. *)
+type oracle = {
+  oc_observe : unit -> (string * string) list;
+  oc_check : observed:(string * string) list -> (string * string) list;
+      (** (plan-free violation key, human detail) pairs, sorted *)
+}
+
 type t = {
   label : string;
   setup : setup;
@@ -77,10 +89,14 @@ type t = {
           into a two-crash one (crash inside recovery, then a second,
           clean recovery — section 6's execution stacks). *)
   options : options;
+  oracle : oracle option;
+      (** when set and the chain really crashed, the engine runs the
+          observe phase (detector-free, sandboxed) and checks it *)
 }
 
 val make :
   ?post_plan:Pm_runtime.Executor.plan ->
+  ?oracle:oracle ->
   label:string ->
   setup:setup ->
   pre:(unit -> unit) ->
@@ -93,6 +109,7 @@ val make :
 (** Scenario for one crash plan of a {!Program.t}. *)
 val of_program :
   ?post_plan:Pm_runtime.Executor.plan ->
+  ?oracle:oracle ->
   setup:setup ->
   plan:Pm_runtime.Executor.plan ->
   options:options ->

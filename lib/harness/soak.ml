@@ -21,6 +21,7 @@ type op_stream = {
   os_setup : (unit -> unit) option;
   os_connect : unit -> op_kind -> key:int -> payload:int -> unit;
   os_audit : unit -> unit;
+  os_observe : (unit -> (string * string) list) option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -96,6 +97,7 @@ let pre_of ~stream ~bucket ~ops ~seed () =
 let program ~stream ~bucket ~ops ~seed =
   Program.make
     ?setup:stream.os_setup
+    ?observe:stream.os_observe
     ~name:(program_name ~stream:stream.os_name ~bucket ~ops ~seed)
     ~pre:(pre_of ~stream ~bucket ~ops ~seed)
     ~post:(fun () -> stream.os_audit ())
@@ -133,6 +135,7 @@ type config = {
   sk_max_ops : int option;
   sk_wall_s : float option;
   sk_checkpoint_every : int;
+  sk_oracle : bool;
 }
 
 let default_config ~streams =
@@ -146,6 +149,7 @@ let default_config ~streams =
     sk_max_ops = None;
     sk_wall_s = None;
     sk_checkpoint_every = 10;
+    sk_oracle = false;
   }
 
 type bucket_state = {
@@ -363,8 +367,24 @@ let run ?resume ?(on_batch = fun _ -> ()) ?(on_checkpoint = fun _ -> ()) cfg =
                 program_name ~stream:stream.os_name ~bucket
                   ~ops:cfg.sk_ops_per_exec ~seed
               in
+              (* Oracle contexts are per scenario: the reference is a
+                 crash-free run of this round's exact op sequence, so
+                 it cannot be memoized across rounds.  A faulting
+                 reference (fault-storm streams) just runs the
+                 scenario oracle-free. *)
+              let oracle =
+                if not cfg.sk_oracle then None
+                else
+                  match
+                    Runner.prepare_oracle
+                      ~options:{ options with Scenario.seed }
+                      (program ~stream ~bucket ~ops:cfg.sk_ops_per_exec ~seed)
+                  with
+                  | prep -> Option.map (fun pr -> pr.Runner.op_ctx) prep
+                  | exception _ -> None
+              in
               let sc =
-                Scenario.make ~label:c.c_label ~setup:(setup_of stream)
+                Scenario.make ?oracle ~label:c.c_label ~setup:(setup_of stream)
                   ~pre:(pre_of ~stream ~bucket ~ops:cfg.sk_ops_per_exec ~seed)
                   ~post:(fun () -> stream.os_audit ())
                   ~plan:(plan_of ~points:c.c_points ~seed)

@@ -62,6 +62,11 @@ type op_stream = {
           the client-op applier; [payload] is a small random value *)
   os_audit : unit -> unit;
       (** post-crash recovery check (the scenario's [post] phase) *)
+  os_observe : (unit -> (string * string) list) option;
+      (** optional state snapshot for the invariant oracle (the
+          stream-level counterpart of {!Program.t}'s [observe] hook):
+          read the recovered store's observable fields as (name, value)
+          pairs.  Only consulted when [sk_oracle] is set. *)
 }
 
 (** {1 Op-mix buckets} *)
@@ -126,11 +131,18 @@ type config = {
       (** wall-clock budget for this invocation (checked at round
           boundaries; nondeterministic stop point by nature) *)
   sk_checkpoint_every : int;  (** rounds between [on_checkpoint] calls *)
+  sk_oracle : bool;
+      (** attach an invariant-oracle context to every scenario of
+          streams exposing [os_observe].  The reference is this round's
+          exact op sequence run crash-free, so it is prepared per
+          scenario (a few extra executions each); a faulting reference
+          runs that scenario oracle-free.  Violations surface through
+          the emitted witnesses ([on_batch] triples), not the totals. *)
 }
 
 (** [default_config ~streams] : all default buckets, 24 ops per
     scenario, fault budget 3, checkpoint every 10 rounds, no budgets,
-    jobs 1, {!Scenario.default_options}. *)
+    jobs 1, {!Scenario.default_options}, oracle off. *)
 val default_config : streams:op_stream list -> config
 
 (** Serializable per-combo state. *)

@@ -47,6 +47,8 @@ type acc = {
   mutable a_pruned_coherence : int;
   mutable a_pruned_persisted : int;
   a_lines : (int, unit) Hashtbl.t;
+  mutable a_oracle_checks : int;
+  mutable a_oracle_violations : int;
 }
 
 (* Keyed by (program, variant label): running the same program under
@@ -74,6 +76,8 @@ let acc_of s key =
           a_pruned_coherence = 0;
           a_pruned_persisted = 0;
           a_lines = Hashtbl.create 8;
+          a_oracle_checks = 0;
+          a_oracle_violations = 0;
         }
       in
       Hashtbl.add s.progs key a;
@@ -110,6 +114,12 @@ let pruned = function
 
 let line_materialized line = touch (fun a -> mark a.a_lines line)
 
+let oracle_checked () =
+  touch (fun a -> a.a_oracle_checks <- a.a_oracle_checks + 1)
+
+let oracle_violation () =
+  touch (fun a -> a.a_oracle_violations <- a.a_oracle_violations + 1)
+
 (* ------------------------------------------------------------------ *)
 (* Merge-on-read snapshots                                              *)
 
@@ -123,6 +133,8 @@ type stats = {
   pruned_coherence : int;
   pruned_persisted : int;
   lines_materialized : int;
+  oracle_checks : int;
+  oracle_violations : int;
 }
 
 let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
@@ -137,7 +149,9 @@ let merge (program, variant) accs =
   and per = ref 0
   and plans = ref []
   and crashes = ref []
-  and lines = ref [] in
+  and lines = ref []
+  and ochecks = ref 0
+  and oviolations = ref 0 in
   List.iter
     (fun a ->
       scenarios := !scenarios + a.a_scenarios;
@@ -146,7 +160,9 @@ let merge (program, variant) accs =
       per := !per + a.a_pruned_persisted;
       plans := keys a.a_plans @ !plans;
       crashes := keys a.a_crashes @ !crashes;
-      lines := keys a.a_lines @ !lines)
+      lines := keys a.a_lines @ !lines;
+      ochecks := !ochecks + a.a_oracle_checks;
+      oviolations := !oviolations + a.a_oracle_violations)
     accs;
   {
     program;
@@ -158,6 +174,8 @@ let merge (program, variant) accs =
     pruned_coherence = !coh;
     pruned_persisted = !per;
     lines_materialized = List.length (List.sort_uniq compare !lines);
+    oracle_checks = !ochecks;
+    oracle_violations = !oviolations;
   }
 
 let snapshot () =
@@ -224,6 +242,10 @@ let fields s : (string * field) list =
     ("pruned_coherence", `I s.pruned_coherence);
     ("pruned_persisted", `I s.pruned_persisted);
     ("lines_materialized", `I s.lines_materialized);
+    (* Appended last so pre-oracle consumers of the JSONL shape keep
+       their field prefix unchanged. *)
+    ("oracle_checks", `I s.oracle_checks);
+    ("oracle_violations", `I s.oracle_violations);
   ]
 
 let pp ppf s =
@@ -243,6 +265,12 @@ let pp ppf s =
   Format.fprintf ppf "@,  pruned checks            %d coherence, %d persisted"
     s.pruned_coherence s.pruned_persisted;
   Format.fprintf ppf "@,  cache lines materialized %d distinct" s.lines_materialized;
+  (* Oracle lines appear only when the oracle ran, keeping pre-oracle
+     coverage blocks byte-identical. *)
+  if s.oracle_checks > 0 then
+    Format.fprintf ppf "@,  oracle checks            %d (%d violation%s)"
+      s.oracle_checks s.oracle_violations
+      (if s.oracle_violations = 1 then "" else "s");
   Format.fprintf ppf "@]"
 
 let to_string s = Format.asprintf "%a" pp s

@@ -58,6 +58,12 @@ val pruned : [ `Coherence | `Persisted ] -> unit
 (** A crash materialization persisted cache line [line]. *)
 val line_materialized : int -> unit
 
+(** The invariant oracle checked one post-crash-recovery observation. *)
+val oracle_checked : unit -> unit
+
+(** The oracle reported one consistency violation. *)
+val oracle_violation : unit -> unit
+
 (** {2 Merge-on-read snapshots} *)
 
 type stats = {
@@ -70,6 +76,8 @@ type stats = {
   pruned_coherence : int;
   pruned_persisted : int;
   lines_materialized : int;  (** distinct cache lines *)
+  oracle_checks : int;  (** oracle observe phases run *)
+  oracle_violations : int;
 }
 
 (** Merged per-(program, variant) coverage, sorted by program then

@@ -122,7 +122,7 @@ let test_witness_rejects_bad_version () =
   let w = List.hd (mc_witnesses toy) in
   let line = Witness.encode w in
   let bumped =
-    Str.global_replace (Str.regexp_string "{\"v\":2,") "{\"v\":99," line
+    Str.global_replace (Str.regexp_string "{\"v\":3,") "{\"v\":99," line
   in
   check "fixture rewrote the version" true (bumped <> line);
   match Witness.decode bumped with
@@ -141,7 +141,7 @@ let test_witness_v1_compat () =
   let line = Witness.encode w in
   let v1 =
     line
-    |> Str.global_replace (Str.regexp_string "{\"v\":2,") "{\"v\":1,"
+    |> Str.global_replace (Str.regexp_string "{\"v\":3,") "{\"v\":1,"
     |> Str.global_replace (Str.regexp_string "\"variant\":\"strict-tso\",") ""
   in
   check "fixture dropped the variant field" true

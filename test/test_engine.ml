@@ -335,7 +335,7 @@ let test_recovery_failure_witness () =
       check "witness is a recovery-phase fault" true
         (match rf.Report.rf_example.Finding.phase with
         | Finding.Recovery _ -> true
-        | Finding.Setup | Finding.Pre_crash -> false))
+        | Finding.Setup | Finding.Pre_crash | Finding.Observe -> false))
     r1.Report.recovery_failures
 
 let test_fail_fast () =
