@@ -197,109 +197,161 @@ let table5 () =
 
 module Engine = Pm_harness.Engine
 
-(* One benchmark's jobs=1 / jobs=N measurement plus everything that
-   rides along in the JSON line and the optional run ledger. *)
-type measure = {
-  m_name : string;
-  m_s1 : Engine.stats;
-  m_sn : Engine.stats;
-  m_diff : (string * int) list;  (* metrics diff around the jobs=N run *)
-  m_att : Observe.Attribution.row list;  (* cost centers, same window *)
-  m_gc_minor : int;  (* Gc.quick_stat word deltas, same window *)
-  m_gc_major : int;
-  m_extract : Pm_corpus.Witness.extraction;
-  m_report : Report.t;
+(* One measured engine run: stats plus everything that rides along in
+   the JSON line and the optional run ledger. *)
+type sample = {
+  b_stats : Engine.stats;
+  b_diff : (string * int) list;  (* metrics diff around the run *)
+  b_att : Observe.Attribution.row list;  (* cost centers, same window *)
+  b_gc_minor : int;  (* Gc.quick_stat word deltas, same window *)
+  b_gc_major : int;
+  b_extract : Pm_corpus.Witness.extraction;
+  b_report : Report.t;
 }
 
-(* Model-check a few multi-flush-point benchmarks through the engine at
-   jobs=1 and jobs=N and report scenario/execution/op throughput, plus
-   one machine-readable JSON line per benchmark (the driver consuming
-   the bench output parses these).  The same lines are written to
-   [out] — the summary file [yashme bench-diff] gates against a
-   committed baseline — and, with [ledger], one run-manifest entry per
-   benchmark is appended for [yashme runs]/[yashme compare]. *)
-let engine_throughput ~jobs ~out ?ledger () =
+(* One emitted row: the best-of-N sample at one jobs level, with the
+   reference level's best elapsed alongside for the speedup column. *)
+type measure = {
+  m_name : string;
+  m_jobs : int;
+  m_ref_jobs : int;
+  m_ref_elapsed_s : float;
+  m_best : sample;
+}
+
+(* One engine run of [p] at [jobs] with the observe windows around it.
+   The counter diffs are jobs-invariant (each scenario runs exactly
+   once), so they double as a cheap cross-check of the determinism
+   contract; attribution cost centers are collected over the same
+   window; GC word deltas are process-global and volatile. *)
+let run_sample ~jobs (p : Pm_harness.Program.t) =
+  let before = Observe.Metrics.snapshot () in
+  let att_before = Observe.Attribution.snapshot () in
+  let gc0 = Gc.quick_stat () in
+  let o = Runner.model_check_outcome ~jobs p in
+  let gc1 = Gc.quick_stat () in
+  (* Witness-corpus accounting rides along: how many distinct witnesses
+     the run would emit under --corpus-out, and what fraction of the
+     raw observations folded into them. *)
+  let e = Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o in
+  {
+    b_stats = o.Runner.o_stats;
+    b_diff = Observe.Metrics.diff before (Observe.Metrics.snapshot ());
+    b_att = Observe.Attribution.diff att_before (Observe.Attribution.snapshot ());
+    b_gc_minor = int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+    b_gc_major = int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
+    b_extract = e;
+    b_report = o.Runner.o_report;
+  }
+
+(* Best-of-N over interleaved repeats.  A fixed jobs=1-first order
+   would hand every later level a warmed allocator and memoized
+   setup — the measurement bias that made the committed speedups look
+   worse than they were — so each repeat visits every jobs level
+   before any level repeats, and the minimum elapsed per level wins. *)
+let measure_levels ~repeats ~jobs_list (p : Pm_harness.Program.t) =
+  let best : (int, sample) Hashtbl.t = Hashtbl.create 8 in
+  for _rep = 1 to max 1 repeats do
+    List.iter
+      (fun jobs ->
+        let s = run_sample ~jobs p in
+        match Hashtbl.find_opt best jobs with
+        | Some prev
+          when prev.b_stats.Engine.elapsed_s <= s.b_stats.Engine.elapsed_s ->
+            ()
+        | Some _ | None -> Hashtbl.replace best jobs s)
+      jobs_list
+  done;
+  let ref_jobs = List.fold_left min max_int jobs_list in
+  let ref_elapsed_s =
+    match Hashtbl.find_opt best ref_jobs with
+    | Some s -> s.b_stats.Engine.elapsed_s
+    | None -> 0.
+  in
+  List.map
+    (fun jobs ->
+      {
+        m_name = p.Pm_harness.Program.name;
+        m_jobs = jobs;
+        m_ref_jobs = ref_jobs;
+        m_ref_elapsed_s = ref_elapsed_s;
+        m_best = Hashtbl.find best jobs;
+      })
+    jobs_list
+
+(* Model-check a few multi-flush-point benchmarks through the engine
+   across [jobs_list] and report scenario/execution/op throughput, plus
+   one machine-readable JSON line per emitted row (the driver consuming
+   the bench output parses these).  Without a sweep, only the highest
+   level emits (one row per benchmark, the historical shape); with
+   [sweep] every level does, keyed [bench[jobs=N]].  The same lines are
+   written to [out] — the summary file [yashme bench-diff] gates
+   against a committed baseline — and, with [ledger], one run-manifest
+   entry per row is appended for [yashme runs]/[yashme compare]. *)
+let engine_throughput ~jobs_list ~repeats ~sweep ~out ?ledger () =
+  let jobs_list = List.sort_uniq compare (List.filter (fun j -> j >= 1) jobs_list) in
+  let jobs_list = if jobs_list = [] then [ 1 ] else jobs_list in
+  let top = List.fold_left max 1 jobs_list in
   section
-    (Printf.sprintf "Exploration engine throughput (model checking, jobs=%d)"
-       jobs);
+    (Printf.sprintf
+       "Exploration engine throughput (model checking, jobs %s, best of %d)"
+       (String.concat "," (List.map string_of_int jobs_list))
+       (max 1 repeats));
   let programs =
     [ Pm_benchmarks.Cceh.program; Pm_benchmarks.Fast_fair.program;
       Pm_benchmarks.Memcached.program ]
   in
-  (* Observe-layer counters ride along in the JSON lines: per-benchmark
-     diffs of the global registry around the jobs=N run.  The counters
-     are jobs-invariant (each scenario runs exactly once), so these
-     numbers double as a cheap cross-check of the determinism
-     contract.  Attribution cost centers are collected over the same
-     window; GC word deltas are process-global and volatile. *)
   Observe.Metrics.enable ();
   Observe.Attribution.enable ();
   let counter_of diff name =
     match List.assoc_opt name diff with Some v -> v | None -> 0
   in
   let measured =
-    List.map
-      (fun (p : Pm_harness.Program.t) ->
-        let _, s1 = Runner.model_check_run ~jobs:1 p in
-        let before = Observe.Metrics.snapshot () in
-        let att_before = Observe.Attribution.snapshot () in
-        let gc0 = Gc.quick_stat () in
-        let o = Runner.model_check_outcome ~jobs p in
-        let gc1 = Gc.quick_stat () in
-        let sn = o.Runner.o_stats in
-        let diff = Observe.Metrics.diff before (Observe.Metrics.snapshot ()) in
-        let att =
-          Observe.Attribution.diff att_before (Observe.Attribution.snapshot ())
-        in
-        (* Witness-corpus accounting rides along: how many distinct
-           witnesses the run would emit under --corpus-out, and what
-           fraction of the raw observations folded into them. *)
-        let e =
-          Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
-        in
-        {
-          m_name = p.Pm_harness.Program.name;
-          m_s1 = s1;
-          m_sn = sn;
-          m_diff = diff;
-          m_att = att;
-          m_gc_minor = int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words);
-          m_gc_major = int_of_float (gc1.Gc.major_words -. gc0.Gc.major_words);
-          m_extract = e;
-          m_report = o.Runner.o_report;
-        })
+    List.concat_map
+      (fun p ->
+        let levels = measure_levels ~repeats ~jobs_list p in
+        if sweep then levels
+        else List.filter (fun m -> m.m_jobs = top) levels)
       programs
   in
   Observe.Metrics.disable ();
   Observe.Attribution.disable ();
+  (* Divisions guard against elapsed ~ 0 (a degenerate fast run must
+     not print "inf", which is not JSON). *)
+  let safe_div a b = if b > 0. then a /. b else 0. in
+  let speedup_of m = safe_div m.m_ref_elapsed_s m.m_best.b_stats.Engine.elapsed_s in
+  let efficiency_of m =
+    safe_div (speedup_of m)
+      (float_of_int m.m_jobs /. float_of_int (max 1 m.m_ref_jobs))
+  in
   let rows =
     List.map
       (fun m ->
-        let s1 = m.m_s1 and sn = m.m_sn in
-        [ m.m_name; string_of_int sn.Engine.scenarios;
+        let sn = m.m_best.b_stats in
+        [ m.m_name; string_of_int sn.Engine.jobs;
+          string_of_int sn.Engine.scenarios;
           string_of_int sn.Engine.executions; string_of_int sn.Engine.ops;
-          Printf.sprintf "%.4fs" s1.Engine.elapsed_s;
+          Printf.sprintf "%.4fs" m.m_ref_elapsed_s;
           Printf.sprintf "%.4fs" sn.Engine.elapsed_s;
-          Printf.sprintf "%.2fx" (s1.Engine.elapsed_s /. sn.Engine.elapsed_s);
-          Printf.sprintf "%.0f" (float_of_int sn.Engine.ops /. sn.Engine.elapsed_s) ])
+          Printf.sprintf "%.2fx" (speedup_of m);
+          Printf.sprintf "%.0f%%" (100. *. efficiency_of m);
+          Printf.sprintf "%.0f" (safe_div (float_of_int sn.Engine.ops) sn.Engine.elapsed_s) ])
       measured
   in
   print_endline
     (Pretty.table
        ~header:
-         [ "Benchmark"; "scenarios"; "execs"; "ops"; "jobs=1";
-           Printf.sprintf "jobs=%d" jobs; "speedup"; "ops/s" ]
+         [ "Benchmark"; "jobs"; "scenarios"; "execs"; "ops";
+           Printf.sprintf "jobs=%d" (List.fold_left min max_int jobs_list);
+           "elapsed"; "speedup"; "efficiency"; "ops/s" ]
        rows);
   print_endline "engine-throughput JSON:";
-  (* Divisions guard against elapsed ~ 0 (a degenerate fast run must
-     not print "inf", which is not JSON). *)
-  let safe_div a b = if b > 0. then a /. b else 0. in
   let json_lines =
     List.map
       (fun m ->
-        let s1 = m.m_s1 and sn = m.m_sn in
-        let e = m.m_extract in
-        let c = counter_of m.m_diff in
+        let sn = m.m_best.b_stats in
+        let e = m.m_best.b_extract in
+        let c = counter_of m.m_best.b_diff in
         let dedup_rate =
           if e.Pm_corpus.Witness.raw = 0 then 0.0
           else
@@ -323,9 +375,9 @@ let engine_throughput ~jobs ~out ?ledger () =
             ("diverged", `I sn.Engine.diverged);
             ("executions", `I sn.Engine.executions);
             ("ops", `I sn.Engine.ops);
-            ("elapsed_s_jobs1", `F s1.Engine.elapsed_s);
+            ("elapsed_s_jobs1", `F m.m_ref_elapsed_s);
             ("elapsed_s", `F sn.Engine.elapsed_s);
-            ("speedup", `F (safe_div s1.Engine.elapsed_s sn.Engine.elapsed_s));
+            ("speedup", `F (speedup_of m));
             ("ops_per_s", `F (safe_div (float_of_int sn.Engine.ops) sn.Engine.elapsed_s));
             ("cpu_s", `F sn.Engine.cpu_s);
             ("detector_candidates", `I (c "detector/candidate_checks"));
@@ -344,11 +396,13 @@ let engine_throughput ~jobs ~out ?ledger () =
                GC deltas and snapshot-copy volume).  Appended last so
                older baselines diff cleanly — bench-diff ignores extra
                metrics it wasn't asked to compare. *)
-            ("gc_minor_words", `I m.m_gc_minor);
-            ("gc_major_words", `I m.m_gc_major);
+            ("gc_minor_words", `I m.m_best.b_gc_minor);
+            ("gc_major_words", `I m.m_best.b_gc_major);
             ("snapshot_bytes", `I (c "px86/snapshot_bytes"));
             ("oracle_invariants", `I (c "oracle/invariants"));
-            ("oracle_violations", `I (c "oracle/violations")) ])
+            ("oracle_violations", `I (c "oracle/violations"));
+            (* Scaling-gate column (bench-diff --scaling), newest last. *)
+            ("efficiency", `F (efficiency_of m)) ])
       measured
   in
   List.iter print_endline json_lines;
@@ -367,8 +421,8 @@ let engine_throughput ~jobs ~out ?ledger () =
   | Some file ->
       List.iter
         (fun m ->
-          let sn = m.m_sn in
-          let r = m.m_report in
+          let sn = m.m_best.b_stats in
+          let r = m.m_best.b_report in
           let entry =
             {
               Observe.Ledger.e_version = Observe.Ledger.version;
@@ -390,12 +444,12 @@ let engine_throughput ~jobs ~out ?ledger () =
               e_raw_races = r.Report.raw_races;
               e_recovery_failures = List.length r.Report.recovery_failures;
               e_witnesses =
-                List.length m.m_extract.Pm_corpus.Witness.witnesses;
+                List.length m.m_best.b_extract.Pm_corpus.Witness.witnesses;
               e_elapsed_s = sn.Engine.elapsed_s;
               e_cpu_s = sn.Engine.cpu_s;
-              e_metrics_digest = Observe.Ledger.digest_counters m.m_diff;
+              e_metrics_digest = Observe.Ledger.digest_counters m.m_best.b_diff;
               e_coverage_digest = "";
-              e_cost = Observe.Ledger.costs_of_rows m.m_att;
+              e_cost = Observe.Ledger.costs_of_rows m.m_best.b_att;
             }
           in
           Pm_corpus.Ledger_store.append file entry)
@@ -618,6 +672,33 @@ let jobs_arg =
   in
   scan (Array.to_list Sys.argv)
 
+(* [--jobs-sweep 1,2,4] emits one throughput row per jobs level instead
+   of only the top one — the input of yashme bench-diff --scaling. *)
+let jobs_sweep_arg =
+  let parse s =
+    List.filter_map
+      (fun t -> match int_of_string_opt (String.trim t) with
+        | Some j when j >= 1 -> Some j
+        | _ -> None)
+      (String.split_on_char ',' s)
+  in
+  let rec scan = function
+    | "--jobs-sweep" :: l :: _ -> Some (parse l)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+(* [--repeats N] (default 2) interleaves N measurement passes over the
+   jobs levels and keeps the best elapsed per level. *)
+let repeats_arg =
+  let rec scan = function
+    | "--repeats" :: n :: _ -> ( try max 1 (int_of_string n) with Failure _ -> 2)
+    | _ :: rest -> scan rest
+    | [] -> 2
+  in
+  scan (Array.to_list Sys.argv)
+
 (* [--out FILE] places the engine-throughput summary (default: the
    baseline path committed at the repo root). *)
 let out_arg =
@@ -642,10 +723,18 @@ let ledger_arg =
    gate runs twice back to back. *)
 let throughput_only = Array.exists (String.equal "--throughput-only") Sys.argv
 
+let engine_throughput_main () =
+  let jobs_list, sweep =
+    match jobs_sweep_arg with
+    | Some (_ :: _ as levels) -> (levels, true)
+    | Some [] | None -> ([ 1; jobs_arg ], false)
+  in
+  engine_throughput ~jobs_list ~repeats:repeats_arg ~sweep ~out:out_arg
+    ?ledger:ledger_arg ()
+
 let () =
   print_endline "Yashme reproduction benchmark harness";
-  if throughput_only then
-    engine_throughput ~jobs:jobs_arg ~out:out_arg ?ledger:ledger_arg ()
+  if throughput_only then engine_throughput_main ()
   else begin
     print_endline
       "(shapes, not absolute numbers, are the target; see EXPERIMENTS.md)";
@@ -656,7 +745,7 @@ let () =
     let t3 = table3 () in
     let t4 = table4 () in
     table5 ();
-    engine_throughput ~jobs:jobs_arg ~out:out_arg ?ledger:ledger_arg ();
+    engine_throughput_main ();
     ablations ();
     bechamel_suite ();
     section "Summary";

@@ -681,11 +681,17 @@ let check_all_cmd =
 let trace_lint_cmd =
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
-           ~doc:"Trace file to validate (JSONL when the name ends in .jsonl, \
-                 Chrome trace JSON otherwise).")
+           ~doc:"File to validate: JSONL when the name ends in .jsonl, SVG \
+                 (timeline export) when it ends in .svg, Chrome trace JSON \
+                 otherwise.")
   in
   let run file =
-    match Observe.Trace.check_file file with
+    let check =
+      if Filename.check_suffix file ".svg" then
+        Observe.Timeline.check_svg_file
+      else Observe.Trace.check_file
+    in
+    match check file with
     | Ok () -> Printf.printf "%s: well-formed\n" file
     | Error msg ->
         Printf.eprintf "%s: malformed trace: %s\n" file msg;
@@ -696,7 +702,9 @@ let trace_lint_cmd =
   in
   Cmd.v
     (Cmd.info "trace-lint"
-       ~doc:"Validate a trace file emitted by --trace-out (JSON well-formedness)")
+       ~doc:"Validate a trace file emitted by --trace-out (JSON \
+             well-formedness), or an SVG timeline emitted by yashme scaling \
+             --svg (XML well-formedness)")
     Term.(const run $ file)
 
 let profile_cmd =
@@ -789,7 +797,15 @@ let profile_cmd =
                     string_of_int l.Observe.Profile.l_spans;
                     string_of_int l.Observe.Profile.l_instants;
                     fmt_us l.Observe.Profile.l_busy_us ])
-                (Observe.Profile.lanes events)))
+                (Observe.Profile.lanes events)));
+        (* The timeline reconstruction classifies the same lanes into
+           busy / queue-wait / idle; skipped silently for traces
+           without complete spans (e.g. instants-only logs). *)
+        (match Observe.Timeline.of_events events with
+        | Error _ -> ()
+        | Ok t ->
+            print_newline ();
+            print_endline (Observe.Timeline.to_string t))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -815,7 +831,15 @@ let bench_diff_cmd =
     let doc = "Higher-is-better numeric field to compare." in
     Arg.(value & opt string "ops_per_s" & info [ "metric" ] ~doc ~docv:"NAME")
   in
-  let run baseline current tolerance metric =
+  let scaling =
+    let doc = "Judge the scaling metric set instead of a single metric: \
+               $(b,speedup) and $(b,efficiency), both higher-is-better, per \
+               baseline row.  Rows written by $(b,bench --jobs-sweep) carry \
+               one (bench, jobs) pair each, so every jobs level gates \
+               independently." in
+    Arg.(value & flag & info [ "scaling" ] ~doc)
+  in
+  let run baseline current tolerance metric scaling =
     let load path =
       match Pm_corpus.Bench_gate.load path with
       | Ok entries -> entries
@@ -826,7 +850,11 @@ let bench_diff_cmd =
     let b = load baseline in
     let c = load current in
     let o =
-      Pm_corpus.Bench_gate.diff ~metric ~tolerance ~baseline:b ~current:c ()
+      if scaling then
+        Pm_corpus.Bench_gate.diff_metrics
+          ~metrics:Pm_corpus.Bench_gate.scaling_metrics ~tolerance ~baseline:b
+          ~current:c ()
+      else Pm_corpus.Bench_gate.diff ~metric ~tolerance ~baseline:b ~current:c ()
     in
     print_endline (Pm_corpus.Bench_gate.outcome_to_string o);
     if not o.Pm_corpus.Bench_gate.passed then exit 1
@@ -835,8 +863,224 @@ let bench_diff_cmd =
     (Cmd.info "bench-diff"
        ~doc:"Gate a fresh bench summary against a committed baseline; exits \
              non-zero when the metric regresses beyond the tolerance (or a \
-             baseline benchmark went missing)")
-    Term.(const run $ baseline $ current $ tolerance $ metric)
+             baseline benchmark went missing).  With $(b,--scaling), gates \
+             speedup and parallel efficiency instead of a single metric")
+    Term.(const run $ baseline $ current $ tolerance $ metric $ scaling)
+
+let scaling_cmd =
+  let progs =
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH"
+           ~doc:"Benchmark programs to sweep (default: CCEH, Fast_Fair and \
+                 Memcached, the throughput-bench set).")
+  in
+  let jobs_list_arg =
+    let doc = "Comma-separated worker-domain counts to sweep, e.g. \
+               $(b,1,2,4).  The lowest level is the speedup reference." in
+    Arg.(value & opt string "1,2,4" & info [ "jobs-list" ] ~doc ~docv:"LIST")
+  in
+  let repeats_arg =
+    let doc = "Interleaved measurement passes per jobs level; the best \
+               elapsed per level wins (evens out warmup bias)." in
+    Arg.(value & opt int 1 & info [ "repeats" ] ~doc ~docv:"N")
+  in
+  let out_arg =
+    let doc = "Write one flat JSONL row per (program, jobs) level to $(docv): \
+               the jobs-invariant projection first, then the wall-clock \
+               class (speedup, efficiency, serial fraction, loss centers)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"FILE")
+  in
+  let projection_out_arg =
+    let doc = "Write only the jobs-invariant projection rows to $(docv).  \
+               Byte-identical for any $(b,--jobs-list) covering the same \
+               levels in any order — CI cmp(1)s two of these." in
+    Arg.(value & opt (some string) None
+           & info [ "projection-out" ] ~doc ~docv:"FILE")
+  in
+  let svg_arg =
+    let doc = "Write an SVG lane chart of the last program's top-jobs run to \
+               $(docv) (validate with $(b,yashme trace-lint))." in
+    Arg.(value & opt (some string) None & info [ "svg" ] ~doc ~docv:"FILE")
+  in
+  let timeline_flag =
+    let doc = "Print the per-domain timeline (ASCII lane chart plus the \
+               utilization/idle-gap table) of each program's top-jobs run." in
+    Arg.(value & flag & info [ "timeline" ] ~doc)
+  in
+  let run progs jobs_list repeats seed variant out projection_out svg_file
+      timeline quiet log_level =
+    let levels_asked =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun t -> int_of_string_opt (String.trim t))
+           (String.split_on_char ',' jobs_list))
+    in
+    if levels_asked = [] || List.exists (fun j -> j < 1) levels_asked then begin
+      Printf.eprintf "bad --jobs-list %S: need comma-separated integers >= 1\n"
+        jobs_list;
+      exit 2
+    end;
+    let programs =
+      match progs with
+      | [] ->
+          [ Pm_benchmarks.Cceh.program; Pm_benchmarks.Fast_fair.program;
+            Pm_benchmarks.Memcached.program ]
+      | names ->
+          List.map
+            (fun name ->
+              match lookup name with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "unknown benchmark %S (see `yashme list')\n"
+                    name;
+                  exit 2)
+            names
+    in
+    observe_setup ~log_level ~coverage:false ~progress:false ~progress_out:None
+      ~metrics:false ~attribution:true ~trace_out:None ~quiet ();
+    let opts = { Pm_harness.Runner.default_options with seed; variant } in
+    let top = List.fold_left max 1 levels_asked in
+    let last_timeline = ref None in
+    (* One engine run at [jobs] with the cost-center window around it;
+       traced runs additionally reconstruct the per-domain timeline. *)
+    let run_level ~trace (p : Pm_harness.Program.t) jobs =
+      if trace then Observe.Trace.start ();
+      let att0 = Observe.Attribution.snapshot () in
+      let o = Pm_harness.Runner.model_check_outcome ~options:opts ~jobs p in
+      let att =
+        Observe.Attribution.diff att0 (Observe.Attribution.snapshot ())
+      in
+      if trace then begin
+        Observe.Trace.stop ();
+        let events = Observe.Trace.events () in
+        Observe.Trace.clear ();
+        match Observe.Timeline.of_events events with
+        | Ok t ->
+            last_timeline := Some (p.Pm_harness.Program.name, jobs, t);
+            if timeline then begin
+              Printf.printf "%s timeline (jobs=%d):\n"
+                p.Pm_harness.Program.name jobs;
+              print_endline (Observe.Timeline.ascii t);
+              print_endline (Observe.Timeline.to_string t);
+              print_newline ()
+            end
+        | Error msg ->
+            Observe.Log.warn
+              (Printf.sprintf "timeline reconstruction failed: %s" msg)
+      end;
+      let stats = o.Pm_harness.Runner.o_stats in
+      let r = o.Pm_harness.Runner.o_report in
+      let ex =
+        Pm_corpus.Witness.of_outcome ~program:p.Pm_harness.Program.name o
+      in
+      let snapshot_bytes, queue_wait_us, snapshot_us, merge_us, gc_minor,
+          gc_major =
+        Observe.Scaling.of_attribution att
+      in
+      {
+        Observe.Scaling.v_jobs = stats.Pm_harness.Engine.jobs;
+        v_elapsed_s = stats.Pm_harness.Engine.elapsed_s;
+        v_cpu_s = stats.Pm_harness.Engine.cpu_s;
+        v_scenarios = stats.Pm_harness.Engine.scenarios;
+        v_completed = stats.Pm_harness.Engine.completed;
+        v_faulted = stats.Pm_harness.Engine.faulted;
+        v_executions = stats.Pm_harness.Engine.executions;
+        v_ops = stats.Pm_harness.Engine.ops;
+        v_races = List.length (Pm_harness.Report.real r);
+        v_witnesses = List.length ex.Pm_corpus.Witness.witnesses;
+        v_snapshot_bytes = snapshot_bytes;
+        v_queue_wait_us = queue_wait_us;
+        v_snapshot_us = snapshot_us;
+        v_merge_us = merge_us;
+        v_gc_minor_words = gc_minor;
+        v_gc_major_words = gc_major;
+      }
+    in
+    let rows = ref [] and projection_rows = ref [] in
+    List.iter
+      (fun (p : Pm_harness.Program.t) ->
+        let name = p.Pm_harness.Program.name in
+        (* Interleaved best-of-N, like the bench: each pass visits every
+           level before any level repeats, so no level systematically
+           runs cold.  The top level of the first pass is traced for
+           the timeline artifacts. *)
+        let best : (int, Observe.Scaling.level) Hashtbl.t = Hashtbl.create 8 in
+        for rep = 1 to max 1 repeats do
+          List.iter
+            (fun jobs ->
+              let trace = rep = 1 && jobs = top && (timeline || svg_file <> None) in
+              let l = run_level ~trace p jobs in
+              match Hashtbl.find_opt best jobs with
+              | Some prev
+                when prev.Observe.Scaling.v_elapsed_s
+                     <= l.Observe.Scaling.v_elapsed_s ->
+                  ()
+              | Some _ | None -> Hashtbl.replace best jobs l)
+            levels_asked
+        done;
+        let levels =
+          List.map (fun jobs -> Hashtbl.find best jobs) levels_asked
+        in
+        (match Observe.Scaling.check ~program:name levels with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf
+              "%s: determinism violation across the sweep: %s\n" name msg;
+            exit 1);
+        match Observe.Scaling.analyze ~program:name levels with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" name msg;
+            exit 1
+        | Ok a ->
+            print_endline (Observe.Scaling.to_string a);
+            print_newline ();
+            List.iter
+              (fun pair ->
+                rows :=
+                  Pm_corpus.Json.encode_obj
+                    (Observe.Scaling.fields ~program:name pair)
+                  :: !rows;
+                projection_rows :=
+                  Pm_corpus.Json.encode_obj
+                    (Observe.Scaling.fields ~timing:false ~program:name pair)
+                  :: !projection_rows)
+              a.Observe.Scaling.a_levels)
+      programs;
+    let write_rows file lines what =
+      match file with
+      | None -> ()
+      | Some file ->
+          Yashme_util.Atomic_file.write file
+            (String.concat "" (List.rev_map (fun l -> l ^ "\n") lines));
+          Printf.printf "%s: %d row(s) written to %s\n" what
+            (List.length lines) file
+    in
+    write_rows out !rows "scaling";
+    write_rows projection_out !projection_rows "scaling projection";
+    match (svg_file, !last_timeline) with
+    | None, _ -> ()
+    | Some file, Some (name, jobs, t) ->
+        Yashme_util.Atomic_file.write file (Observe.Timeline.svg t);
+        Printf.printf "svg: %s timeline (jobs=%d) written to %s\n" name jobs
+          file
+    | Some _, None ->
+        Printf.eprintf "svg: no timeline was reconstructed\n";
+        exit 1
+  in
+  let term =
+    Term.(
+      const run $ progs $ jobs_list_arg $ repeats_arg $ seed $ variant_arg
+      $ out_arg $ projection_out_arg $ svg_arg $ timeline_flag $ quiet_flag
+      $ log_level_arg)
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Sweep the exploration engine across --jobs-list levels and \
+             report speedup, parallel efficiency, an Amdahl serial-fraction \
+             fit and a named decomposition of lost parallel time \
+             (queue-wait, snapshot copying, merge, GC); the race counts and \
+             all other non-timing fields are byte-identical at every level, \
+             and the sweep exits 1 if not")
+    term
 
 let runs_cmd =
   let file =
@@ -1611,7 +1855,7 @@ let main =
   Cmd.group (Cmd.info "yashme" ~version:"1.0.0" ~doc)
     [ list_cmd; check_cmd; check_all_cmd; soak_cmd; tables_cmd; witness_cmd;
       variants_cmd; litmus_cmd; oracle_cmd; trace_lint_cmd; profile_cmd;
-      bench_diff_cmd; runs_cmd; compare_cmd; replay_cmd; minimize_cmd;
-      corpus_cmd ]
+      scaling_cmd; bench_diff_cmd; runs_cmd; compare_cmd; replay_cmd;
+      minimize_cmd; corpus_cmd ]
 
 let () = exit (Cmd.eval main)

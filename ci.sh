@@ -285,13 +285,13 @@ echo "== bench gate (committed baseline + back-to-back run)"
 # same tree.  Throughput numbers are machine-dependent, so the
 # tolerance here is deliberately loose: the gate's job in CI is to
 # catch collapses (and exercise the exit paths), not 5% noise.
-dune exec bench/main.exe -- --throughput-only --jobs 2 --out "$bench_cur" \
-  >/dev/null
+dune exec bench/main.exe -- --throughput-only --jobs 2 --repeats 1 \
+  --out "$bench_cur" >/dev/null
 dune exec bin/yashme_cli.exe -- bench-diff BENCH_engine_throughput.json \
   "$bench_cur" --tolerance 400
 # Two back-to-back runs of the same build must pass a generous gate.
-dune exec bench/main.exe -- --throughput-only --jobs 2 --out "$bench_rerun" \
-  >/dev/null
+dune exec bench/main.exe -- --throughput-only --jobs 2 --repeats 1 \
+  --out "$bench_rerun" >/dev/null
 dune exec bin/yashme_cli.exe -- bench-diff "$bench_cur" "$bench_rerun" \
   --tolerance 200
 # The gate compares only the named metric, so rows may gain or lose
@@ -307,5 +307,40 @@ dune exec bin/yashme_cli.exe -- bench-diff "$oracle_b1" "$oracle_b0" >/dev/null 
   echo "ci: bench-diff choked on a baseline file with extra metrics" >&2
   exit 1
 }
+
+echo "== scaling observatory"
+scale_out=$(mktemp /tmp/yashme-ci-scale.XXXXXX.jsonl)
+scale_proj=$(mktemp /tmp/yashme-ci-scale-proj.XXXXXX.jsonl)
+scale_proj2=$(mktemp /tmp/yashme-ci-scale-proj2.XXXXXX.jsonl)
+scale_svg=$(mktemp /tmp/yashme-ci-scale.XXXXXX.svg)
+scale_sweep=$(mktemp /tmp/yashme-ci-scale-sweep.XXXXXX.json)
+trap 'rm -f "$trace" "$corpus" "$minimized" "$merged" "$progress" "$cov1" "$cov4" "$bench_cur" "$bench_rerun" "$att1" "$att4" "$ledger" "$soak_m1" "$soak_m2" "$soak_c1" "$soak_c2" "$soak_mr" "$soak_cr" "$soak_prog" ${soak_m1}.s ${soak_m2}.s "$oracle_c1" "$oracle_c4" "$oracle_min" "$oracle_b0" "$oracle_b1" "$scale_out" "$scale_proj" "$scale_proj2" "$scale_svg" "$scale_sweep"' EXIT
+# A jobs sweep over one program: the full report, the non-timing
+# projection, and the per-domain timeline SVG must all come out
+# well-formed.
+dune exec bin/yashme_cli.exe -- scaling Memcached --jobs-list 1,2 \
+  --out "$scale_out" --projection-out "$scale_proj" --svg "$scale_svg" \
+  --quiet >/dev/null
+dune exec bin/yashme_cli.exe -- trace-lint "$scale_out"
+dune exec bin/yashme_cli.exe -- trace-lint "$scale_svg"
+# The non-timing projection is a function of the workload alone: a
+# second sweep (levels listed in the opposite order) must reproduce it
+# byte for byte.
+dune exec bin/yashme_cli.exe -- scaling Memcached --jobs-list 2,1 \
+  --projection-out "$scale_proj2" --quiet >/dev/null
+cmp "$scale_proj" "$scale_proj2" || {
+  echo "ci: scaling projection differs between sweep runs" >&2
+  exit 1
+}
+# The scaling gate: a sweep summary self-compares clean, and the
+# committed baseline gates a fresh sweep under a collapse-sized
+# tolerance (speedup/efficiency are noisy in CI; the gate is there to
+# catch a parallelism collapse, not scheduler jitter).
+dune exec bench/main.exe -- --throughput-only --jobs-sweep 1,2 --repeats 1 \
+  --out "$scale_sweep" >/dev/null
+dune exec bin/yashme_cli.exe -- bench-diff --scaling "$scale_sweep" \
+  "$scale_sweep"
+dune exec bin/yashme_cli.exe -- bench-diff --scaling \
+  BENCH_engine_throughput.json "$scale_sweep" --tolerance 300
 
 echo "CI OK"

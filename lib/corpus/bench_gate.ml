@@ -105,27 +105,39 @@ type outcome = {
   missing : string list;  (* baseline keys absent from current *)
 }
 
-let diff ?(metric = "ops_per_s") ~tolerance ~baseline ~current () =
+(* Gate [current] against [baseline] on several metrics per row.  Each
+   baseline row is judged once per (metric, direction); a metric absent
+   on either side fails loudly under the row's ["key.metric"] name,
+   like a missing benchmark. *)
+let diff_metrics ~metrics ~tolerance ~baseline ~current () =
   let verdicts = ref [] and missing = ref [] in
   List.iter
     (fun b ->
       match List.find_opt (fun c -> c.e_key = b.e_key) current with
       | None -> missing := b.e_key :: !missing
-      | Some c -> (
-          match (number b metric, number c metric) with
-          | Some bv, Some cv ->
-              verdicts :=
-                judge ~key:b.e_key ~metric ~better:Higher ~tolerance
-                  ~baseline:bv ~current:cv ()
-                :: !verdicts
-          | _ ->
-              (* metric absent on either side: fail loudly, like a
-                 missing benchmark *)
-              missing := (b.e_key ^ "." ^ metric) :: !missing))
+      | Some c ->
+          List.iter
+            (fun (metric, better) ->
+              match (number b metric, number c metric) with
+              | Some bv, Some cv ->
+                  verdicts :=
+                    judge ~key:b.e_key ~metric ~better ~tolerance ~baseline:bv
+                      ~current:cv ()
+                    :: !verdicts
+              | _ -> missing := (b.e_key ^ "." ^ metric) :: !missing)
+            metrics)
     baseline;
   let verdicts = List.rev !verdicts and missing = List.rev !missing in
   let passed = missing = [] && not (List.exists (fun v -> v.v_regressed) verdicts) in
   { passed; verdicts; missing }
+
+let diff ?(metric = "ops_per_s") ~tolerance ~baseline ~current () =
+  diff_metrics ~metrics:[ (metric, Higher) ] ~tolerance ~baseline ~current ()
+
+(* The scaling gate's metric set: parallel speedup and efficiency,
+   both higher-is-better.  Used by [yashme bench-diff --scaling] over
+   [bench --jobs-sweep] rows. *)
+let scaling_metrics = [ ("speedup", Higher); ("efficiency", Higher) ]
 
 let pp_verdict ppf v =
   Format.fprintf ppf "%s %s: baseline %.1f, current %.1f (%+.1f%%)%s" v.v_key

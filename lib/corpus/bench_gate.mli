@@ -74,6 +74,21 @@ val diff :
   unit ->
   outcome
 
+(** Like {!diff}, judging several [(metric, direction)] pairs per
+    baseline row — one verdict per pair; a metric absent on either
+    side fails the gate under the ["key.metric"] name. *)
+val diff_metrics :
+  metrics:(string * better) list ->
+  tolerance:float ->
+  baseline:entry list ->
+  current:entry list ->
+  unit ->
+  outcome
+
+(** The scaling-gate metric set — [speedup] and [efficiency], both
+    higher-is-better ([yashme bench-diff --scaling]). *)
+val scaling_metrics : (string * better) list
+
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 val outcome_to_string : outcome -> string

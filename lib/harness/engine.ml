@@ -137,6 +137,11 @@ let ct_gc_major =
    both jobs-invariant. *)
 let ct_oracle = Observe.Attribution.center ~units:"ops" "oracle/observe"
 
+(* One charge per race merge, units = results merged — jobs-invariant;
+   the wall clock is the serial post-batch cost the scaling analysis
+   sets against lost parallel time. *)
+let ct_merge = Observe.Attribution.center ~units:"results" "engine/merge"
+
 let run_scenario (s : Scenario.t) =
   let open Scenario in
   let t0 = now () in
@@ -489,6 +494,7 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
   in
   let out = Array.make n None in
   Observe.Progress.batch n;
+  Observe.Progress.set_jobs jobs;
   let next = Atomic.make 0 in
   (* Cooperative cancellation for fail-fast: a worker that records a
      fault raises the flag; every worker re-checks it before claiming
@@ -557,11 +563,11 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
               out.(i) <- Some r;
               (match r with
               | Completed c ->
-                  Observe.Progress.tick ~races:(List.length c.races)
-                    ~faulted:false
+                  Observe.Progress.tick ~lane:slot
+                    ~races:(List.length c.races) ~faulted:false ()
               | Faulted f ->
-                  Observe.Progress.tick ~races:(List.length f.f_races)
-                    ~faulted:true);
+                  Observe.Progress.tick ~lane:slot
+                    ~races:(List.length f.f_races) ~faulted:true ());
               (match r with
               | Faulted _ when fail_fast -> Atomic.set stop true
               | Faulted _ | Completed _ -> ());
@@ -639,12 +645,22 @@ let run ?(jobs = 1) ?(fail_fast = false) scenarios =
    {!Yashme.Race.merge_ordered} for why order matters).  Races observed
    before a fault are genuine evidence and are kept. *)
 let races ?(keep = fun (_ : completed) -> true) run =
-  Yashme.Race.merge_ordered
-    (List.map
-       (function
-         | Completed c -> if keep c then c.races else []
-         | Faulted f -> f.f_races)
-       run.results)
+  let att = Observe.Attribution.is_enabled () in
+  let w0 = if att then Observe.Trace.now_us () else 0 in
+  let merged =
+    Yashme.Race.merge_ordered
+      (List.map
+         (function
+           | Completed c -> if keep c then c.races else []
+           | Faulted f -> f.f_races)
+         run.results)
+  in
+  if att then
+    Observe.Attribution.charge ct_merge ~count:1
+      ~units:(List.length run.results)
+      ~wall_us:(Observe.Trace.now_us () - w0)
+      ();
+  merged
 
 (* Faults of a run, in submission order — the list {!Report.dedup}
    folds into recovery-failure findings and fault counts. *)

@@ -19,6 +19,8 @@ type state = {
   mutable finished : int;
   mutable races : int;
   mutable faults : int;
+  mutable jobs : int;
+  lanes : (int, int) Hashtbl.t;  (* worker slot -> scenarios finished *)
   mutable t0 : float;
   mutable last_emit : float;
   mutable interval_s : float;
@@ -35,6 +37,8 @@ let st =
     finished = 0;
     races = 0;
     faults = 0;
+    jobs = 0;
+    lanes = Hashtbl.create 8;
     t0 = 0.;
     last_emit = 0.;
     interval_s = 0.5;
@@ -59,8 +63,18 @@ let eta_of ~rate ~remaining =
   if rate > 0. && remaining > 0 then finite (float_of_int remaining /. rate)
   else 0.
 
-(* One emission; call with the lock held. *)
-let emit ~now =
+(* "slot:count" per worker lane, ascending slot — the final summary's
+   after-the-fact attribution of scenarios to domains. *)
+let lanes_label () =
+  Hashtbl.fold (fun lane n acc -> (lane, n) :: acc) st.lanes []
+  |> List.sort compare
+  |> List.map (fun (lane, n) -> Printf.sprintf "%d:%d" lane n)
+  |> String.concat ","
+
+(* One emission; call with the lock held.  [final] appends the run
+   identity (jobs, per-domain scenario counts) to the JSONL line;
+   throttled mid-run lines keep the historical shape. *)
+let emit ?(final = false) ~now () =
   st.last_emit <- now;
   st.emitted <- st.emitted + 1;
   let elapsed_s = Float.max 0. (now -. st.t0) in
@@ -90,11 +104,17 @@ let emit ~now =
   match st.jsonl with
   | None -> ()
   | Some s ->
+      let summary =
+        if final && st.jobs > 0 then
+          Printf.sprintf ",\"jobs\":%d,\"per_domain\":\"%s\"" st.jobs
+            (lanes_label ())
+        else ""
+      in
       Yashme_util.Atomic_file.output_string s
         (Printf.sprintf
            "{\"done\":%d,\"total\":%d,\"races\":%d,\"faults\":%d,\
-            \"rate_per_s\":%.6f,\"eta_s\":%.6f,\"elapsed_s\":%.6f}\n"
-           st.finished st.total st.races st.faults rate eta_s elapsed_s)
+            \"rate_per_s\":%.6f,\"eta_s\":%.6f,\"elapsed_s\":%.6f%s}\n"
+           st.finished st.total st.races st.faults rate eta_s elapsed_s summary)
 
 let start ?(interval_s = 0.5) ?(heartbeat = true) ?jsonl () =
   Mutex.protect lock (fun () ->
@@ -105,6 +125,8 @@ let start ?(interval_s = 0.5) ?(heartbeat = true) ?jsonl () =
       st.finished <- 0;
       st.races <- 0;
       st.faults <- 0;
+      st.jobs <- 0;
+      Hashtbl.reset st.lanes;
       st.t0 <- Unix.gettimeofday ();
       st.last_emit <- 0.;
       st.interval_s <- interval_s;
@@ -117,14 +139,23 @@ let batch n =
   if Atomic.get active then
     Mutex.protect lock (fun () -> st.total <- st.total + n)
 
-let tick ~races ~faulted =
+let set_jobs jobs =
+  if Atomic.get active then
+    Mutex.protect lock (fun () -> st.jobs <- jobs)
+
+let tick ?lane ~races ~faulted () =
   if Atomic.get active then
     Mutex.protect lock (fun () ->
         st.finished <- st.finished + 1;
         st.races <- st.races + races;
         if faulted then st.faults <- st.faults + 1;
+        (match lane with
+        | Some l ->
+            Hashtbl.replace st.lanes l
+              (1 + Option.value ~default:0 (Hashtbl.find_opt st.lanes l))
+        | None -> ());
         let now = Unix.gettimeofday () in
-        if now -. st.last_emit >= st.interval_s then emit ~now)
+        if now -. st.last_emit >= st.interval_s then emit ~now ())
 
 (* Final emission happens unconditionally, so a [--progress-out] file
    always carries at least one (summary) line even for runs faster
@@ -136,7 +167,7 @@ let stop () =
   else begin
     Atomic.set active false;
     Mutex.protect lock (fun () ->
-        emit ~now:(Unix.gettimeofday ());
+        emit ~final:true ~now:(Unix.gettimeofday ()) ();
         (match st.jsonl with
         | Some s -> Yashme_util.Atomic_file.commit s
         | None -> ());

@@ -32,9 +32,17 @@ val is_active : unit -> bool
 (** Announce [n] more scenarios to explore (grows the [total]). *)
 val batch : int -> unit
 
+(** Record the worker-pool size for the final summary line.  The final
+    JSONL emission then appends ["jobs"] and a ["per_domain"] label
+    ("slot:count" per worker lane) so soak/scaling runs are
+    attributable after the fact; throttled mid-run lines keep the
+    historical shape. *)
+val set_jobs : int -> unit
+
 (** One scenario finished, having found [races] raw races; [faulted]
-    marks a sandboxed scenario fault. *)
-val tick : races:int -> faulted:bool -> unit
+    marks a sandboxed scenario fault; [lane] attributes it to a worker
+    slot for the final per-domain summary. *)
+val tick : ?lane:int -> races:int -> faulted:bool -> unit -> unit
 
 (** Emit a final (unthrottled) update, close the JSONL stream and
     deactivate.  Returns the number of emissions (0 if inactive), so a

@@ -499,7 +499,7 @@ let test_progress_heartbeat_respects_quiet () =
     capture_stderr (fun () ->
         Progress.start ~heartbeat:true ~jsonl ();
         Progress.batch 1;
-        Progress.tick ~races:0 ~faulted:false;
+        Progress.tick ~races:0 ~faulted:false ();
         ignore (Progress.stop ()))
   in
   check_str "quiet silences the heartbeat" "" quiet_err;
@@ -510,7 +510,7 @@ let test_progress_heartbeat_respects_quiet () =
     capture_stderr (fun () ->
         Progress.start ~heartbeat:true ();
         Progress.batch 1;
-        Progress.tick ~races:0 ~faulted:false;
+        Progress.tick ~races:0 ~faulted:false ();
         ignore (Progress.stop ()))
   in
   check "default level prints the heartbeat" true

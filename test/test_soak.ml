@@ -411,7 +411,7 @@ let test_progress_eta_clamped_before_any_work () =
      inf/nan, on stderr or in the JSONL stream. *)
   let tmp = Filename.temp_file "yashme_soak_progress" ".jsonl" in
   Progress.start ~heartbeat:false ~jsonl:tmp ();
-  Progress.tick ~races:0 ~faulted:false;
+  Progress.tick ~races:0 ~faulted:false ();
   ignore (Progress.stop ());
   assert_finite_stream tmp;
   Sys.remove tmp
@@ -445,9 +445,9 @@ let test_progress_stream_atomic_commit () =
   Sys.remove tmp;
   Progress.start ~heartbeat:false ~jsonl:tmp ();
   Progress.batch 2;
-  Progress.tick ~races:0 ~faulted:false;
+  Progress.tick ~races:0 ~faulted:false ();
   check "no file visible before commit" false (Sys.file_exists tmp);
-  Progress.tick ~races:1 ~faulted:false;
+  Progress.tick ~races:1 ~faulted:false ();
   ignore (Progress.stop ());
   check "file visible after stop" true (Sys.file_exists tmp);
   (match Observe.Trace.check_file tmp with

@@ -221,7 +221,7 @@ let test_report_identical_with_telemetry_on () =
 
 let test_progress_inactive_is_noop () =
   quiesce ();
-  Progress.tick ~races:3 ~faulted:true;
+  Progress.tick ~races:3 ~faulted:true ();
   check_int "stop while inactive reports zero emissions" 0 (Progress.stop ())
 
 let test_progress_jsonl_stream () =
@@ -229,9 +229,9 @@ let test_progress_jsonl_stream () =
   let tmp = Filename.temp_file "yashme_progress" ".jsonl" in
   Progress.start ~heartbeat:false ~jsonl:tmp ();
   Progress.batch 3;
-  Progress.tick ~races:1 ~faulted:false;
-  Progress.tick ~races:0 ~faulted:true;
-  Progress.tick ~races:2 ~faulted:false;
+  Progress.tick ~races:1 ~faulted:false ();
+  Progress.tick ~races:0 ~faulted:true ();
+  Progress.tick ~races:2 ~faulted:false ();
   let emitted = Progress.stop () in
   check "at least the final emission" true (emitted >= 1);
   (match Trace.check_file tmp with
